@@ -1,0 +1,138 @@
+// Command genexp regenerates the paper's tables and figures on the
+// simulated substrate.
+//
+// Usage:
+//
+//	genexp -exp fig4          # one experiment
+//	genexp -exp all           # everything (EXPERIMENTS.md source data)
+//	genexp -exp table3 -scale 0.5 -v
+//
+// Experiments: fig4 fig5 fig6 fig7 fig8 fig9 table2 table3 bounds memory
+// ablations all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"predict/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment id: fig4 fig5 fig6 fig7 fig8 fig9 cc nh table2 table3 bounds memory ablations all")
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default stand-in sizes)")
+		workers = flag.Int("workers", 0, "BSP workers (0 = default)")
+		seed    = flag.Uint64("seed", 0, "master seed (0 = default)")
+		verbose = flag.Bool("v", false, "print progress to stderr")
+		format  = flag.String("format", "text", "output format: text or csv")
+	)
+	flag.Parse()
+	asCSV = *format == "csv"
+
+	var progress io.Writer
+	if *verbose {
+		progress = os.Stderr
+	}
+	lab := experiments.NewLab(experiments.Config{
+		Scale:    *scale,
+		Workers:  *workers,
+		Seed:     *seed,
+		Progress: progress,
+	})
+
+	start := time.Now()
+	if err := run(lab, strings.ToLower(*exp), os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "genexp:", err)
+		os.Exit(1)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// asCSV selects CSV output instead of aligned text tables.
+var asCSV bool
+
+func run(lab *experiments.Lab, exp string, w io.Writer) error {
+	figs := func(fs []*experiments.FigureResult, err error) error {
+		if err != nil {
+			return err
+		}
+		for _, f := range fs {
+			if asCSV {
+				fmt.Fprintf(w, "# %s — %s\n", f.ID, f.Title)
+				if err := f.WriteCSV(w); err != nil {
+					return err
+				}
+				continue
+			}
+			f.Render(w)
+		}
+		return nil
+	}
+	table := func(t *experiments.TableResult, err error) error {
+		if err != nil {
+			return err
+		}
+		if asCSV {
+			fmt.Fprintf(w, "# %s — %s\n", t.ID, t.Title)
+			return t.WriteCSV(w)
+		}
+		t.Render(w)
+		return nil
+	}
+
+	switch exp {
+	case "fig4":
+		return figs(lab.Figure4())
+	case "fig5":
+		return figs(lab.Figure5())
+	case "fig6":
+		return figs(lab.Figure6())
+	case "fig7":
+		return figs(lab.Figure7())
+	case "fig8":
+		return figs(lab.Figure8())
+	case "fig9":
+		return figs(lab.Figure9())
+	case "cc":
+		return figs(lab.FigureConnectedComponents())
+	case "nh":
+		return figs(lab.FigureNeighborhoodEstimation())
+	case "table2":
+		return table(lab.Table2())
+	case "table3":
+		return table(lab.Table3())
+	case "bounds":
+		return table(lab.UpperBounds())
+	case "memory":
+		return table(lab.MemoryLimits())
+	case "ablations":
+		for _, f := range []func() (*experiments.TableResult, error){
+			lab.AblationNoTransform,
+			lab.AblationUniformSampling,
+			lab.AblationVertexOnlyExtrapolation,
+			lab.AblationNoCriticalPath,
+			lab.AblationNoFeatureSelection,
+		} {
+			if err := table(f()); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "all":
+		for _, id := range []string{"table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
+			"cc", "nh", "bounds", "table3", "memory", "ablations"} {
+			if err := run(lab, id, w); err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", exp)
+}

@@ -1,0 +1,59 @@
+// Quickstart: predict the runtime of PageRank on the Wikipedia stand-in,
+// then run it for real (on the simulated cluster) and compare.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"predict"
+)
+
+func main() {
+	// 1. A dataset. Stand-ins for the paper's four graphs are registered
+	// by prefix; scale 0.5 halves the default size for a fast demo.
+	g := predict.Dataset("Wiki").Generate(0.5, 42)
+	fmt.Printf("dataset: Wikipedia-sim, %d vertices, %d edges\n\n",
+		g.NumVertices(), g.NumEdges())
+
+	// 2. An algorithm. PageRank converges when the average per-vertex
+	// rank change drops below tau = eps/N (the paper's setting).
+	pr := predict.NewPageRank()
+	pr.Tau = predict.PageRankTau(0.001, g.NumVertices())
+
+	// 3. The predictor: 10% Biased Random Jump sample, cost model trained
+	// on sample runs at the paper's four training ratios.
+	cfg := predict.DefaultCluster()
+	p := predict.NewPredictor(predict.Options{
+		Sampling:       predict.SamplingOptions{Ratio: 0.10, Seed: 7},
+		BSP:            cfg,
+		TrainingRatios: []float64{0.05, 0.10, 0.15, 0.20},
+	})
+	pred, err := p.Predict(pr, g)
+	if err != nil {
+		log.Fatalf("predict: %v", err)
+	}
+	fmt.Println("--- prediction ---")
+	fmt.Println(predict.FormatPrediction(pred))
+
+	// 4. Ground truth: the actual run on the full graph.
+	actual, err := pr.Run(g, cfg)
+	if err != nil {
+		log.Fatalf("actual run: %v", err)
+	}
+	ev := predict.Evaluate(pred, actual)
+	fmt.Println("\n--- actual run ---")
+	fmt.Printf("iterations           %d (prediction error %+.1f%%)\n",
+		ev.ActualIterations, 100*ev.IterationsError)
+	fmt.Printf("superstep runtime    %.1f s (prediction error %+.1f%%)\n",
+		ev.ActualSeconds, 100*ev.RuntimeError)
+
+	// 5. Versus the analytical upper bound the paper compares against.
+	bound := predict.PageRankIterationBound(0.001, pr.Damping)
+	fmt.Printf("\nanalytical iteration bound: %d (%.1fx the actual — PREDIcT's sample run is %.1fx off)\n",
+		bound,
+		float64(bound)/float64(ev.ActualIterations),
+		float64(ev.PredictedIterations)/float64(ev.ActualIterations))
+}

@@ -1,0 +1,86 @@
+// SLA feasibility analysis — the paper's §1 motivating question:
+//
+//	"Given a cluster deployment and a workload of iterative algorithms,
+//	 is it feasible to execute the workload on an input dataset while
+//	 guaranteeing user specified SLAs?"
+//
+// The example predicts the runtime of a three-job analytics workload on
+// the UK web-graph stand-in, answers the feasibility question against an
+// SLA deadline, then verifies the answer with actual runs.
+//
+//	go run ./examples/slafeasibility
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"predict"
+)
+
+func main() {
+	g := predict.Dataset("UK").Generate(0.5, 99)
+	cfg := predict.DefaultCluster()
+	fmt.Printf("dataset: UK2002-sim (%d vertices, %d edges), workers: %d\n\n",
+		g.NumVertices(), g.NumEdges(), cfg.Workers)
+
+	// The nightly analytics workload: rank pages, find their top-k
+	// reachable ranks, label the link communities.
+	pr := predict.NewPageRank()
+	pr.Tau = predict.PageRankTau(0.001, g.NumVertices())
+	tk := predict.NewTopKRanking()
+	tk.PageRank = pr
+	workload := []struct {
+		name string
+		alg  predict.Algorithm
+	}{
+		{"nightly PageRank", pr},
+		{"top-k reachability", tk},
+		{"community semi-clustering", predict.NewSemiClustering()},
+	}
+
+	const slaSeconds = 500.0
+
+	p := predict.NewPredictor(predict.Options{
+		Sampling:       predict.SamplingOptions{Ratio: 0.10, Seed: 3},
+		BSP:            cfg,
+		TrainingRatios: []float64{0.05, 0.10, 0.15, 0.20},
+	})
+
+	var totalPredicted, planningCost float64
+	preds := make([]*predict.Prediction, len(workload))
+	for i, job := range workload {
+		pred, err := p.Predict(job.alg, g)
+		if err != nil {
+			log.Fatalf("%s: %v", job.name, err)
+		}
+		preds[i] = pred
+		totalPredicted += pred.SuperstepSeconds
+		planningCost += pred.SampleRunSeconds
+		fmt.Printf("%-28s predicted %7.0f s in %2d iterations (model R2 %.2f)\n",
+			job.name, pred.SuperstepSeconds, pred.Iterations, pred.Model.R2())
+	}
+
+	fmt.Printf("\nworkload prediction: %.0f s against an SLA of %.0f s\n", totalPredicted, slaSeconds)
+	if totalPredicted <= slaSeconds {
+		fmt.Println("=> FEASIBLE: admit the workload")
+	} else {
+		fmt.Println("=> INFEASIBLE: renegotiate the SLA or add workers")
+	}
+	fmt.Printf("(planning itself cost %.0f simulated seconds of sample runs)\n\n", planningCost)
+
+	// Verify against ground truth.
+	var totalActual float64
+	for i, job := range workload {
+		actual, err := job.alg.Run(g, cfg)
+		if err != nil {
+			log.Fatalf("%s actual: %v", job.name, err)
+		}
+		ev := predict.Evaluate(preds[i], actual)
+		totalActual += ev.ActualSeconds
+		fmt.Printf("%-28s actual    %7.0f s (prediction error %+5.1f%%)\n",
+			job.name, ev.ActualSeconds, 100*ev.RuntimeError)
+	}
+	fmt.Printf("\nworkload actual: %.0f s — SLA %s\n", totalActual,
+		map[bool]string{true: "met", false: "missed"}[totalActual <= slaSeconds])
+}

@@ -1,0 +1,328 @@
+package algorithms
+
+import (
+	"sort"
+
+	"predict/internal/bsp"
+	"predict/internal/graph"
+)
+
+// SemiClustering implements the parallel semi-clustering algorithm of the
+// Pregel paper (§4.2 of PREDIcT): every vertex maintains up to CMax
+// semi-clusters it belongs to, scored by
+//
+//	Sc = (Ic - fB*Bc) / (Vc(Vc-1)/2)
+//
+// and circulates the best SMax clusters to its neighbors each iteration.
+// Convergence: the ratio of semi-cluster updates per iteration drops below
+// Tau. Because the threshold is a ratio, the transform function keeps it
+// unchanged on sample runs: T = (ID_Conf, τ_S = τ_G).
+//
+// Per-iteration runtime varies through growing message *sizes* (clusters
+// accumulate members up to VMax) — the paper's category ii.a.
+type SemiClustering struct {
+	// CMax is the maximum number of semi-clusters a vertex retains.
+	CMax int
+	// SMax is the number of best clusters sent to neighbors per iteration.
+	SMax int
+	// VMax is the maximum number of vertices in a semi-cluster.
+	VMax int
+	// FB is the boundary edge factor in (0, 1) penalizing boundary edges.
+	FB float64
+	// Tau is the convergence threshold on updatedClusters/totalClusters.
+	Tau float64
+	// MaxIterations caps the run; zero selects 150.
+	MaxIterations int
+}
+
+// NewSemiClustering returns the paper's base settings (§5.1):
+// CMax=1, SMax=1, VMax=10, fB=0.1, τ=0.001.
+func NewSemiClustering() SemiClustering {
+	return SemiClustering{CMax: 1, SMax: 1, VMax: 10, FB: 0.1, Tau: 0.001, MaxIterations: 150}
+}
+
+// Name implements Algorithm.
+func (s SemiClustering) Name() string { return "SemiClustering" }
+
+// Transformed implements Algorithm: all parameters identical on the sample
+// run (ratio-based convergence is not tuned to dataset size).
+func (s SemiClustering) Transformed(float64) Algorithm { return s }
+
+// Run implements Algorithm. The input is symmetrized (semi-clustering is
+// defined on undirected weighted graphs); unweighted inputs get weight 1.
+func (s SemiClustering) Run(g *graph.Graph, cfg bsp.Config) (*RunInfo, error) {
+	ri, _, err := s.RunClusters(g, cfg)
+	return ri, err
+}
+
+// Cluster is a semi-cluster in the final output: its member vertices and
+// score.
+type Cluster struct {
+	Members []graph.VertexID
+	Score   float64
+}
+
+// RunClusters executes semi-clustering and returns each vertex's best
+// clusters.
+func (s SemiClustering) RunClusters(g *graph.Graph, cfg bsp.Config) (*RunInfo, [][]Cluster, error) {
+	if s.MaxIterations > 0 {
+		cfg.MaxSupersteps = s.MaxIterations
+	} else if cfg.MaxSupersteps == 0 {
+		cfg.MaxSupersteps = 150
+	}
+	ug := g.Undirected()
+	prog := &scProgram{p: s}
+	eng := bsp.NewEngine[scValue, scCluster](ug, prog, cfg)
+	tau := s.Tau
+	eng.SetHalt(func(si bsp.SuperstepInfo) bool {
+		if si.Superstep < 1 {
+			return false
+		}
+		total := si.Aggregates[aggSCTotal]
+		if total == 0 {
+			return true // nothing clustered: degenerate input
+		}
+		return si.Aggregates[aggSCUpdated]/total < tau
+	})
+	res, err := eng.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([][]Cluster, len(res.Values))
+	for v := range res.Values {
+		for _, c := range res.Values[v].best {
+			out[v] = append(out[v], Cluster{Members: c.members, Score: c.score})
+		}
+	}
+	return info(s.Name(), res), out, nil
+}
+
+const (
+	aggSCUpdated = "sc.updated"
+	aggSCTotal   = "sc.total"
+)
+
+// scCluster is a semi-cluster in flight: sorted member list plus
+// incrementally maintained internal/boundary weights and score.
+type scCluster struct {
+	members []graph.VertexID // sorted ascending
+	ic, bc  float64
+	score   float64
+}
+
+func (c scCluster) contains(v graph.VertexID) bool {
+	lo, hi := 0, len(c.members)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if c.members[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(c.members) && c.members[lo] == v
+}
+
+func (c scCluster) equal(o scCluster) bool {
+	if len(c.members) != len(o.members) {
+		return false
+	}
+	for i := range c.members {
+		if c.members[i] != o.members[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// scValue is the per-vertex semi-clustering state.
+type scValue struct {
+	best     []scCluster // up to CMax best clusters containing the vertex
+	strength float64     // total weight of incident edges (cached)
+}
+
+type scProgram struct {
+	p SemiClustering
+}
+
+func (sp *scProgram) Init(g *graph.Graph, id bsp.VertexID) scValue {
+	var strength float64
+	ws := g.OutWeights(id)
+	if ws == nil {
+		strength = float64(g.OutDegree(id))
+	} else {
+		for _, w := range ws {
+			strength += float64(w)
+		}
+	}
+	return scValue{strength: strength}
+}
+
+// score computes the normalized semi-cluster score; singleton clusters
+// score 0 so that any real cluster with positive internal weight wins.
+func (sp *scProgram) score(ic, bc float64, size int) float64 {
+	denom := float64(size*(size-1)) / 2
+	if denom < 1 {
+		denom = 1
+	}
+	return (ic - sp.p.FB*bc) / denom
+}
+
+// edgeWeight returns w(id, m) or 0 if the edge does not exist.
+func edgeWeight(g *graph.Graph, id, m graph.VertexID) float64 {
+	adj := g.OutNeighbors(id)
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if adj[mid] < m {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(adj) && adj[lo] == m {
+		if ws := g.OutWeights(id); ws != nil {
+			return float64(ws[lo])
+		}
+		return 1
+	}
+	return 0
+}
+
+// extend returns cluster c with vertex id added, maintaining Ic and Bc
+// incrementally: edges from id to members become internal (and stop being
+// boundary); all other incident edges of id become boundary.
+func (sp *scProgram) extend(g *graph.Graph, c scCluster, id graph.VertexID, strength float64) scCluster {
+	var wToMembers float64
+	for _, m := range c.members {
+		wToMembers += edgeWeight(g, id, m)
+	}
+	members := make([]graph.VertexID, len(c.members)+1)
+	copy(members, c.members)
+	members[len(c.members)] = id
+	sort.Slice(members, func(i, j int) bool { return members[i] < members[j] })
+	ic := c.ic + wToMembers
+	bc := c.bc + strength - 2*wToMembers
+	if bc < 0 {
+		bc = 0
+	}
+	return scCluster{
+		members: members,
+		ic:      ic,
+		bc:      bc,
+		score:   sp.score(ic, bc, len(members)),
+	}
+}
+
+func (sp *scProgram) Compute(ctx *bsp.Context[scCluster], id bsp.VertexID, v *scValue, msgs []scCluster) {
+	g := ctx.Graph()
+	if ctx.Superstep() == 0 {
+		// Create the singleton cluster and broadcast it.
+		c := scCluster{
+			members: []graph.VertexID{id},
+			ic:      0,
+			bc:      v.strength,
+		}
+		c.score = sp.score(c.ic, c.bc, 1)
+		v.best = []scCluster{c}
+		ctx.SendToNeighbors(id, c)
+		ctx.AddToAggregate(aggSCUpdated, 1)
+		ctx.AddToAggregate(aggSCTotal, 1)
+		return
+	}
+
+	// Form candidates: received clusters plus extensions including self.
+	candidates := make([]scCluster, 0, 2*len(msgs))
+	for _, sc := range msgs {
+		candidates = append(candidates, sc)
+		if len(sc.members) < sp.p.VMax && !sc.contains(id) {
+			candidates = append(candidates, sp.extend(g, sc, id, v.strength))
+		}
+	}
+	sortClusters(candidates)
+
+	// Send the best SMax onwards.
+	limit := sp.p.SMax
+	if limit > len(candidates) {
+		limit = len(candidates)
+	}
+	for i := 0; i < limit; i++ {
+		ctx.SendToNeighbors(id, candidates[i])
+	}
+
+	// Update the local best-cluster list with candidates containing id.
+	merged := make([]scCluster, 0, len(v.best)+4)
+	merged = append(merged, v.best...)
+	for _, c := range candidates {
+		if c.contains(id) {
+			merged = append(merged, c)
+		}
+	}
+	sortClusters(merged)
+	newBest := dedupClusters(merged, sp.p.CMax)
+
+	updated := 0
+	for i := range newBest {
+		if i >= len(v.best) || !newBest[i].equal(v.best[i]) {
+			updated++
+		}
+	}
+	v.best = newBest
+	ctx.AddToAggregate(aggSCUpdated, float64(updated))
+	ctx.AddToAggregate(aggSCTotal, float64(len(v.best)))
+}
+
+func (sp *scProgram) MessageBytes(m scCluster) int {
+	return 4*len(m.members) + 12 // member IDs + score + length header
+}
+
+// ValueBytes implements bsp.ValueSizer so the simulated memory budget sees
+// semi-clustering's large vertex state.
+func (sp *scProgram) ValueBytes(v scValue) int {
+	b := 16
+	for _, c := range v.best {
+		b += 4*len(c.members) + 24
+	}
+	return b
+}
+
+// sortClusters orders clusters by score descending, with deterministic
+// tie-breaking by size then lexicographic members.
+func sortClusters(cs []scCluster) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].score != cs[j].score {
+			return cs[i].score > cs[j].score
+		}
+		if len(cs[i].members) != len(cs[j].members) {
+			return len(cs[i].members) < len(cs[j].members)
+		}
+		for k := range cs[i].members {
+			if cs[i].members[k] != cs[j].members[k] {
+				return cs[i].members[k] < cs[j].members[k]
+			}
+		}
+		return false
+	})
+}
+
+// dedupClusters removes duplicate member sets (keeping sorted order) and
+// truncates to limit.
+func dedupClusters(cs []scCluster, limit int) []scCluster {
+	out := make([]scCluster, 0, limit)
+	for _, c := range cs {
+		dup := false
+		for _, kept := range out {
+			if c.equal(kept) {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, c)
+			if len(out) == limit {
+				break
+			}
+		}
+	}
+	return out
+}

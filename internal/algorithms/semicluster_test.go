@@ -1,0 +1,184 @@
+package algorithms
+
+import (
+	"testing"
+
+	"predict/internal/gen"
+	"predict/internal/graph"
+)
+
+// twoCliques builds two dense 5-cliques joined by a single weak bridge —
+// the canonical semi-clustering input.
+func twoCliques() *graph.Graph {
+	b := graph.NewBuilder(10)
+	addClique := func(offset int) {
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				b.AddWeightedEdge(graph.VertexID(offset+i), graph.VertexID(offset+j), 1)
+			}
+		}
+	}
+	addClique(0)
+	addClique(5)
+	b.AddWeightedEdge(0, 5, 0.1) // weak bridge
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func TestSemiClusteringFindsCliques(t *testing.T) {
+	sc := NewSemiClustering()
+	sc.VMax = 5
+	sc.Tau = 0.001
+	ri, clusters, err := sc.RunClusters(twoCliques(), quietCfg(2))
+	if err != nil {
+		t.Fatalf("RunClusters: %v", err)
+	}
+	if ri.Iterations < 2 {
+		t.Errorf("Iterations = %d, want >= 2", ri.Iterations)
+	}
+	// Every vertex should end with at least one cluster containing itself.
+	for v, cs := range clusters {
+		if len(cs) == 0 {
+			t.Fatalf("vertex %d has no clusters", v)
+		}
+		found := false
+		for _, m := range cs[0].Members {
+			if m == graph.VertexID(v) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("vertex %d's best cluster %v does not contain it", v, cs[0].Members)
+		}
+	}
+	// Vertices 1-4 (inside clique A, away from the bridge) should cluster
+	// exclusively with clique-A members.
+	for _, v := range []int{1, 2, 3, 4} {
+		for _, m := range clusters[v][0].Members {
+			if m >= 5 {
+				t.Errorf("vertex %d clustered across the bridge: %v", v, clusters[v][0].Members)
+			}
+		}
+	}
+}
+
+func TestSemiClusteringRespectsVMax(t *testing.T) {
+	sc := NewSemiClustering()
+	sc.VMax = 3
+	_, clusters, err := sc.RunClusters(twoCliques(), quietCfg(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, cs := range clusters {
+		for _, c := range cs {
+			if len(c.Members) > 3 {
+				t.Errorf("vertex %d has cluster of size %d > VMax=3", v, len(c.Members))
+			}
+		}
+	}
+}
+
+func TestSemiClusteringRespectsCMax(t *testing.T) {
+	sc := NewSemiClustering()
+	sc.CMax = 2
+	_, clusters, err := sc.RunClusters(gen.BarabasiAlbert(200, 3, 0.5, 9), quietCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, cs := range clusters {
+		if len(cs) > 2 {
+			t.Errorf("vertex %d holds %d clusters > CMax=2", v, len(cs))
+		}
+	}
+}
+
+func TestSemiClusteringMessageBytesGrow(t *testing.T) {
+	// Category ii.a: message sizes grow over iterations as clusters fill.
+	sc := NewSemiClustering()
+	ri, err := sc.Run(gen.BarabasiAlbert(1000, 4, 0.5, 21), quietCfg(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Iterations < 3 {
+		t.Skipf("converged too fast (%d iterations) for size-growth check", ri.Iterations)
+	}
+	first := ri.Profile.Supersteps[0].Total()
+	mid := ri.Profile.Supersteps[ri.Iterations/2].Total()
+	avgFirst := float64(first.MessageBytes()) / float64(first.Messages())
+	avgMid := float64(mid.MessageBytes()) / float64(mid.Messages())
+	if avgMid <= avgFirst {
+		t.Errorf("average message size did not grow: first %.1f, mid %.1f", avgFirst, avgMid)
+	}
+}
+
+func TestSemiClusteringTransformedIsIdentity(t *testing.T) {
+	sc := NewSemiClustering()
+	tr := sc.Transformed(0.1).(SemiClustering)
+	if tr != sc {
+		t.Errorf("Transformed changed config: %+v vs %+v", tr, sc)
+	}
+}
+
+func TestScClusterContains(t *testing.T) {
+	c := scCluster{members: []graph.VertexID{2, 5, 9}}
+	for _, v := range []graph.VertexID{2, 5, 9} {
+		if !c.contains(v) {
+			t.Errorf("contains(%d) = false, want true", v)
+		}
+	}
+	for _, v := range []graph.VertexID{1, 3, 10} {
+		if c.contains(v) {
+			t.Errorf("contains(%d) = true, want false", v)
+		}
+	}
+}
+
+func TestScoreSingletonIsSafe(t *testing.T) {
+	sp := &scProgram{p: NewSemiClustering()}
+	s := sp.score(0, 5, 1)
+	if s > 0 {
+		t.Errorf("singleton score = %v, want <= 0", s)
+	}
+}
+
+func TestScoreNormalization(t *testing.T) {
+	// Score must be normalized by the clique edge count so large clusters
+	// are not favored: a 3-cluster with ic=3 (triangle) scores
+	// (3 - 0)/3 = 1.
+	sp := &scProgram{p: SemiClustering{FB: 0}}
+	if got := sp.score(3, 0, 3); got != 1 {
+		t.Errorf("score = %v, want 1", got)
+	}
+}
+
+func TestDedupClusters(t *testing.T) {
+	a := scCluster{members: []graph.VertexID{1, 2}, score: 5}
+	b := scCluster{members: []graph.VertexID{1, 2}, score: 5}
+	c := scCluster{members: []graph.VertexID{3}, score: 1}
+	out := dedupClusters([]scCluster{a, b, c}, 10)
+	if len(out) != 2 {
+		t.Errorf("dedup kept %d clusters, want 2", len(out))
+	}
+	out = dedupClusters([]scCluster{a, c}, 1)
+	if len(out) != 1 {
+		t.Errorf("limit ignored: %d clusters", len(out))
+	}
+}
+
+func TestEdgeWeight(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 2.5)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := edgeWeight(g, 0, 1); w != 2.5 {
+		t.Errorf("edgeWeight(0,1) = %v, want 2.5", w)
+	}
+	if w := edgeWeight(g, 0, 2); w != 0 {
+		t.Errorf("edgeWeight(0,2) = %v, want 0", w)
+	}
+}

@@ -1,0 +1,30 @@
+// Package bounds provides the analytical upper bounds the paper compares
+// against (§5.1): closed-form iteration counts that ignore dataset
+// characteristics and are therefore loose in practice.
+package bounds
+
+import (
+	"math"
+)
+
+// PageRankIterations returns the Langville & Meyer upper bound on the
+// number of power iterations needed to reach tolerance level epsilon with
+// damping factor d:
+//
+//	#iterations = log10(epsilon) / log10(d)
+//
+// For epsilon = 0.001, d = 0.85 this gives ~42 iterations, versus fewer
+// than 21 observed on all of the paper's datasets — a 2x over-estimate.
+func PageRankIterations(epsilon, damping float64) int {
+	if epsilon <= 0 || epsilon >= 1 || damping <= 0 || damping >= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log10(epsilon) / math.Log10(damping)))
+}
+
+// ConnectedComponentsIterations returns the trivial diameter bound for
+// HashMin label propagation: the label needs at most diameter hops to
+// flood a component.
+func ConnectedComponentsIterations(diameter int) int {
+	return diameter + 1
+}

@@ -1,0 +1,97 @@
+package bsp
+
+import (
+	"predict/internal/cluster"
+	"predict/internal/graph"
+)
+
+// Context is the per-worker execution context handed to Program.Compute.
+// It routes messages, tracks the Table 1 counters, exposes aggregators and
+// implements vote-to-halt. A Context is only valid for the duration of the
+// Compute call that receives it.
+type Context[M any] struct {
+	g       *graph.Graph
+	part    []int32
+	worker  int
+	workers int
+	numVert int64
+
+	superstep int
+	current   VertexID
+	load      cluster.WorkerLoad
+	agg       map[string]float64
+	prevAgg   map[string]float64
+	halted    []bool
+	outbox    [][]envelope[M]
+	combiner  Combiner[M]
+	prog      interface{ MessageBytes(m M) int }
+
+	// next-superstep inboxes, owned by the engine; a worker only writes
+	// entries for vertices it owns (local sends).
+	nextOne  []M
+	nextHas  []bool
+	nextList [][]M
+}
+
+// Superstep returns the current 0-based superstep index.
+func (c *Context[M]) Superstep() int { return c.superstep }
+
+// NumVertices returns the number of vertices in the graph.
+func (c *Context[M]) NumVertices() int64 { return c.numVert }
+
+// Graph returns the input graph (read-only by convention).
+func (c *Context[M]) Graph() *graph.Graph { return c.g }
+
+// Worker returns the executing worker's index.
+func (c *Context[M]) Worker() int { return c.worker }
+
+// Send delivers message m to vertex dst at the next superstep, updating
+// the local/remote counters according to dst's worker.
+func (c *Context[M]) Send(dst VertexID, m M) {
+	bytes := int64(c.prog.MessageBytes(m))
+	if int(c.part[dst]) == c.worker {
+		c.load.LocalMessages++
+		c.load.LocalMessageBytes += bytes
+		if c.combiner != nil {
+			if c.nextHas[dst] {
+				c.nextOne[dst] = c.combiner(c.nextOne[dst], m)
+			} else {
+				c.nextOne[dst] = m
+				c.nextHas[dst] = true
+			}
+		} else {
+			c.nextList[dst] = append(c.nextList[dst], m)
+		}
+		return
+	}
+	w := int(c.part[dst])
+	c.load.RemoteMessages++
+	c.load.RemoteMessageBytes += bytes
+	c.outbox[w] = append(c.outbox[w], envelope[M]{dst: dst, m: m})
+}
+
+// SendToNeighbors sends m to every out-neighbor of v.
+func (c *Context[M]) SendToNeighbors(v VertexID, m M) {
+	for _, dst := range c.g.OutNeighbors(v) {
+		c.Send(dst, m)
+	}
+}
+
+// VoteToHalt deactivates the current vertex; a subsequent message
+// reactivates it (Pregel semantics).
+func (c *Context[M]) VoteToHalt() {
+	c.halted[c.current] = true
+}
+
+// AddToAggregate accumulates v into the named global aggregator. The merged
+// value is visible to the master's halt predicate after this superstep and
+// to all vertices (via Aggregate) during the next superstep.
+func (c *Context[M]) AddToAggregate(name string, v float64) {
+	c.agg[name] += v
+}
+
+// Aggregate returns the named aggregator's merged value from the previous
+// superstep (0 for the first superstep or unknown names).
+func (c *Context[M]) Aggregate(name string) float64 {
+	return c.prevAgg[name]
+}

@@ -1,0 +1,326 @@
+package bsp
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"time"
+
+	"predict/internal/cluster"
+	"predict/internal/graph"
+)
+
+// envelope is a message in flight to a vertex on another worker.
+type envelope[M any] struct {
+	dst VertexID
+	m   M
+}
+
+// Engine executes a Program over a graph under a Config. Engines are
+// single-use: construct, configure, Run once.
+type Engine[V, M any] struct {
+	g        *graph.Graph
+	prog     Program[V, M]
+	cfg      Config
+	combiner Combiner[M]
+	halt     HaltPredicate
+}
+
+// NewEngine returns an engine for program p over graph g.
+func NewEngine[V, M any](g *graph.Graph, p Program[V, M], cfg Config) *Engine[V, M] {
+	return &Engine[V, M]{g: g, prog: p, cfg: cfg.withDefaults()}
+}
+
+// SetCombiner installs a message combiner (optional).
+func (e *Engine[V, M]) SetCombiner(c Combiner[M]) { e.combiner = c }
+
+// SetHalt installs the master-side convergence predicate (optional). When
+// nil, the run terminates only when every vertex has voted to halt and no
+// messages are in flight.
+func (e *Engine[V, M]) SetHalt(h HaltPredicate) { e.halt = h }
+
+// partitionWorker maps a vertex to its worker with a multiplicative hash,
+// emulating Giraph's hash partitioning.
+func partitionWorker(v VertexID, workers int) int {
+	return int((uint64(uint32(v)) * 2654435761) % uint64(workers))
+}
+
+// Run executes the program to convergence and returns the final vertex
+// values plus the full execution profile. It returns ErrOutOfMemory if the
+// simulated memory budget is exceeded and ErrNoConvergence (with a partial
+// result) if MaxSupersteps elapses first.
+func (e *Engine[V, M]) Run() (*Result[V], error) {
+	if err := e.cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := e.g.NumVertices()
+	W := e.cfg.Workers
+	if W > n && n > 0 {
+		W = n // never more workers than vertices
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("bsp: empty graph")
+	}
+	oracle := *e.cfg.Oracle
+	rng := rand.New(rand.NewPCG(e.cfg.Seed, e.cfg.Seed^0xbf58476d1ce4e5b9))
+
+	// ----- Setup phase: partition vertices onto workers.
+	part := make([]int32, n)
+	workerVerts := make([][]VertexID, W)
+	workerOutEdges := make([]int64, W)
+	for v := 0; v < n; v++ {
+		w := partitionWorker(VertexID(v), W)
+		part[v] = int32(w)
+		workerVerts[w] = append(workerVerts[w], VertexID(v))
+		workerOutEdges[w] += int64(e.g.OutDegree(VertexID(v)))
+	}
+	workerVertCounts := make([]int64, W)
+	for w := range workerVerts {
+		workerVertCounts[w] = int64(len(workerVerts[w]))
+	}
+
+	profile := &Profile{
+		NumWorkers:     W,
+		GraphVertices:  int64(n),
+		GraphEdges:     e.g.NumEdges(),
+		WorkerVertices: workerVertCounts,
+		WorkerOutEdges: workerOutEdges,
+		SetupSeconds:   oracle.SetupSeconds,
+		ReadSeconds:    oracle.ReadSeconds(int64(n), e.g.NumEdges(), W),
+		WriteSeconds:   oracle.WriteSeconds(int64(n), W),
+	}
+
+	// ----- Read phase: initialize vertex values (parallel per worker).
+	values := make([]V, n)
+	runWorkers(W, func(w int) {
+		for _, v := range workerVerts[w] {
+			values[v] = e.prog.Init(e.g, v)
+		}
+	})
+	halted := make([]bool, n)
+
+	// Message storage. With a combiner each vertex holds at most one
+	// pending message; without one it holds a list.
+	var (
+		curList  [][]M
+		nextList [][]M
+		curOne   []M
+		curHas   []bool
+		nextOne  []M
+		nextHas  []bool
+	)
+	if e.combiner != nil {
+		curOne = make([]M, n)
+		curHas = make([]bool, n)
+		nextOne = make([]M, n)
+		nextHas = make([]bool, n)
+	} else {
+		curList = make([][]M, n)
+		nextList = make([][]M, n)
+	}
+
+	graphBytes := 8*e.g.NumEdges() + 16*int64(n)
+	sizer, hasSizer := any(e.prog).(ValueSizer[V])
+
+	contexts := make([]*Context[M], W)
+	for w := 0; w < W; w++ {
+		contexts[w] = &Context[M]{
+			g:       e.g,
+			part:    part,
+			worker:  w,
+			workers: W,
+			numVert: int64(n),
+		}
+	}
+	prevAgg := map[string]float64{}
+
+	// ----- Superstep phase.
+	converged := false
+	for step := 0; step < e.cfg.MaxSupersteps; step++ {
+		start := time.Now()
+		// Reset per-superstep context state.
+		for w := 0; w < W; w++ {
+			c := contexts[w]
+			c.superstep = step
+			c.load = cluster.WorkerLoad{TotalVertices: workerVertCounts[w]}
+			c.agg = map[string]float64{}
+			c.prevAgg = prevAgg
+			c.outbox = make([][]envelope[M], W)
+			c.halted = halted
+			c.combiner = e.combiner
+			c.prog = e.prog
+			c.nextOne = nextOne
+			c.nextHas = nextHas
+			c.nextList = nextList
+		}
+
+		// Compute phase: each worker scans its vertices.
+		runWorkers(W, func(w int) {
+			c := contexts[w]
+			var scratch [1]M
+			for _, v := range workerVerts[w] {
+				var msgs []M
+				if e.combiner != nil {
+					if curHas[v] {
+						scratch[0] = curOne[v]
+						msgs = scratch[:1]
+					}
+				} else {
+					msgs = curList[v]
+				}
+				if halted[v] && len(msgs) == 0 {
+					continue
+				}
+				if len(msgs) > 0 {
+					halted[v] = false // message receipt reactivates
+				}
+				c.load.ActiveVertices++
+				c.current = v
+				e.prog.Compute(c, v, &values[v], msgs)
+			}
+		})
+
+		// Delivery phase: each worker merges remote envelopes targeting it.
+		runWorkers(W, func(w int) {
+			for sw := 0; sw < W; sw++ {
+				for _, env := range contexts[sw].outbox[w] {
+					if e.combiner != nil {
+						if nextHas[env.dst] {
+							nextOne[env.dst] = e.combiner(nextOne[env.dst], env.m)
+						} else {
+							nextOne[env.dst] = env.m
+							nextHas[env.dst] = true
+						}
+					} else {
+						nextList[env.dst] = append(nextList[env.dst], env.m)
+					}
+				}
+			}
+		})
+		wallNanos := time.Since(start).Nanoseconds()
+
+		// Master: merge aggregates deterministically, price the superstep.
+		agg := map[string]float64{}
+		for w := 0; w < W; w++ {
+			keys := make([]string, 0, len(contexts[w].agg))
+			for k := range contexts[w].agg {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				agg[k] += contexts[w].agg[k]
+			}
+		}
+		loads := make([]cluster.WorkerLoad, W)
+		workerSecs := make([]float64, W)
+		var total cluster.WorkerLoad
+		var msgBytesInMemory int64
+		for w := 0; w < W; w++ {
+			loads[w] = contexts[w].load
+			// Serialized footprint: payload plus a fixed per-message
+			// envelope. Anything over the spill threshold goes to disk.
+			footprint := loads[w].MessageBytes() + 16*loads[w].Messages()
+			if t := oracle.SpillThresholdBytes; t > 0 && footprint > t {
+				loads[w].SpilledBytes = footprint - t
+				footprint = t
+			}
+			msgBytesInMemory += footprint
+			workerSecs[w] = oracle.WorkerSeconds(loads[w], rng)
+			total.Add(loads[w])
+		}
+		sp := SuperstepProfile{
+			Workers:       loads,
+			WorkerSeconds: workerSecs,
+			Seconds:       oracle.SuperstepSeconds(workerSecs),
+			Aggregates:    agg,
+			WallNanos:     wallNanos,
+		}
+		profile.Supersteps = append(profile.Supersteps, sp)
+
+		// Memory budget: graph + vertex state + doubled message footprint
+		// (outboxes plus inboxes), with a fixed per-message overhead.
+		if oracle.MemoryBudgetBytes > 0 {
+			var valueBytes int64
+			if hasSizer {
+				for i := range values {
+					valueBytes += int64(sizer.ValueBytes(values[i]))
+				}
+			}
+			// Spilled bytes live on disk, not in memory.
+			est := graphBytes + valueBytes + 2*msgBytesInMemory
+			if est > oracle.MemoryBudgetBytes {
+				return &Result[V]{Values: values, Supersteps: step + 1, Profile: profile},
+					fmt.Errorf("%w: superstep %d needs ~%d MiB, budget %d MiB",
+						ErrOutOfMemory, step, est>>20, oracle.MemoryBudgetBytes>>20)
+			}
+		}
+
+		prevAgg = agg
+
+		// Termination checks.
+		if e.halt != nil && e.halt(SuperstepInfo{
+			Superstep:      step,
+			ActiveVertices: total.ActiveVertices,
+			SentMessages:   total.Messages(),
+			Aggregates:     agg,
+			NumVertices:    int64(n),
+		}) {
+			converged = true
+		}
+		if total.Messages() == 0 {
+			allHalted := true
+			for _, h := range halted {
+				if !h {
+					allHalted = false
+					break
+				}
+			}
+			if allHalted {
+				converged = true
+			}
+		}
+
+		// Swap message buffers.
+		if e.combiner != nil {
+			curOne, nextOne = nextOne, curOne
+			curHas, nextHas = nextHas, curHas
+			for i := range nextHas {
+				nextHas[i] = false
+			}
+		} else {
+			curList, nextList = nextList, curList
+			for i := range nextList {
+				nextList[i] = nextList[i][:0]
+			}
+		}
+
+		if converged {
+			break
+		}
+	}
+
+	res := &Result[V]{
+		Values:     values,
+		Supersteps: len(profile.Supersteps),
+		Converged:  converged,
+		Profile:    profile,
+	}
+	if !converged {
+		return res, fmt.Errorf("%w: %d supersteps", ErrNoConvergence, e.cfg.MaxSupersteps)
+	}
+	return res, nil
+}
+
+// runWorkers executes fn(w) for w in [0, workers) concurrently and waits.
+func runWorkers(workers int, fn func(w int)) {
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			fn(w)
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,43 @@
+package bsp
+
+import "predict/internal/graph"
+
+// PartitionStats computes, without running anything, the per-worker vertex
+// and outbound-edge allocation the engine's hash partitioning would
+// produce for g with the given worker count. The paper piggybacks exactly
+// this computation on the read phase to locate the critical-path worker
+// before the superstep phase starts (§3.4).
+func PartitionStats(g *graph.Graph, workers int) (vertices, outEdges []int64) {
+	n := g.NumVertices()
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n && n > 0 {
+		workers = n
+	}
+	vertices = make([]int64, workers)
+	outEdges = make([]int64, workers)
+	for v := 0; v < n; v++ {
+		w := partitionWorker(VertexID(v), workers)
+		vertices[w]++
+		outEdges[w] += int64(g.OutDegree(VertexID(v)))
+	}
+	return vertices, outEdges
+}
+
+// CriticalShareOf returns the critical-path worker's fraction of all
+// outbound edges under the engine's partitioning of g across workers.
+func CriticalShareOf(g *graph.Graph, workers int) float64 {
+	_, outEdges := PartitionStats(g, workers)
+	var total, maxE int64
+	for _, e := range outEdges {
+		total += e
+		if e > maxE {
+			maxE = e
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(maxE) / float64(total)
+}

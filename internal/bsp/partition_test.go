@@ -1,0 +1,79 @@
+package bsp
+
+import (
+	"testing"
+
+	"predict/internal/graph"
+)
+
+func TestPartitionStatsConservation(t *testing.T) {
+	g := starPlusRing(500)
+	verts, edges := PartitionStats(g, 8)
+	var vSum, eSum int64
+	for w := range verts {
+		vSum += verts[w]
+		eSum += edges[w]
+	}
+	if vSum != int64(g.NumVertices()) {
+		t.Errorf("vertex sum = %d, want %d", vSum, g.NumVertices())
+	}
+	if eSum != g.NumEdges() {
+		t.Errorf("edge sum = %d, want %d", eSum, g.NumEdges())
+	}
+}
+
+func TestPartitionStatsMatchesEngine(t *testing.T) {
+	// The static partition stats must agree with what the engine records.
+	g := starPlusRing(300)
+	verts, edges := PartitionStats(g, 4)
+	eng := NewEngine[int, int](g, maxProgram{}, testCfg(4))
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 4; w++ {
+		if res.Profile.WorkerVertices[w] != verts[w] {
+			t.Errorf("worker %d vertices: engine %d vs static %d",
+				w, res.Profile.WorkerVertices[w], verts[w])
+		}
+		if res.Profile.WorkerOutEdges[w] != edges[w] {
+			t.Errorf("worker %d edges: engine %d vs static %d",
+				w, res.Profile.WorkerOutEdges[w], edges[w])
+		}
+	}
+}
+
+func TestCriticalShareOfBounds(t *testing.T) {
+	g := starPlusRing(1000)
+	share := CriticalShareOf(g, 8)
+	if share < 1.0/8 || share > 1.0 {
+		t.Errorf("CriticalShareOf = %v, want in [0.125, 1]", share)
+	}
+	// One worker owns everything.
+	if s := CriticalShareOf(g, 1); s != 1 {
+		t.Errorf("single-worker share = %v, want 1", s)
+	}
+}
+
+func TestCriticalShareOfEmptyGraph(t *testing.T) {
+	b := graph.NewBuilder(5) // no edges
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := CriticalShareOf(g, 4); s != 0 {
+		t.Errorf("edgeless share = %v, want 0", s)
+	}
+}
+
+func TestPartitionStatsClampsWorkers(t *testing.T) {
+	g := starPlusRing(10)
+	verts, _ := PartitionStats(g, 100)
+	if len(verts) != 10 {
+		t.Errorf("got %d workers, want clamped 10", len(verts))
+	}
+	verts, _ = PartitionStats(g, 0)
+	if len(verts) != 1 {
+		t.Errorf("got %d workers for 0 requested, want 1", len(verts))
+	}
+}

@@ -1,0 +1,92 @@
+package bsp
+
+import (
+	"predict/internal/cluster"
+)
+
+// SuperstepProfile records one superstep's measurements.
+type SuperstepProfile struct {
+	// Workers holds per-worker load counters (Table 1 features at worker
+	// granularity).
+	Workers []cluster.WorkerLoad
+	// WorkerSeconds holds the oracle-priced per-worker times.
+	WorkerSeconds []float64
+	// Seconds is the superstep's simulated runtime: critical-path worker
+	// plus barrier overhead.
+	Seconds float64
+	// Aggregates holds merged aggregator values.
+	Aggregates map[string]float64
+	// WallNanos is the real (host) compute time of the superstep.
+	WallNanos int64
+}
+
+// Total returns the sum of all worker loads.
+func (s *SuperstepProfile) Total() cluster.WorkerLoad {
+	var t cluster.WorkerLoad
+	for _, w := range s.Workers {
+		t.Add(w)
+	}
+	return t
+}
+
+// Profile aggregates the measurements of a whole run. It is the raw
+// material for feature extraction (internal/features) and cost-model
+// training (internal/costmodel).
+type Profile struct {
+	NumWorkers    int
+	GraphVertices int64
+	GraphEdges    int64
+	// WorkerVertices/WorkerOutEdges describe the partitioning: vertices
+	// and outbound edges allocated to each worker. The worker with the
+	// most outbound edges is the predicted critical path (§3.4).
+	WorkerVertices []int64
+	WorkerOutEdges []int64
+	// Supersteps holds one entry per executed superstep.
+	Supersteps []SuperstepProfile
+	// Phase times in simulated seconds (§2.2 phase breakdown).
+	SetupSeconds float64
+	ReadSeconds  float64
+	WriteSeconds float64
+}
+
+// CriticalWorker returns the index of the worker with the most outbound
+// edges — the paper's static critical-path estimate, computable in the
+// read phase before execution.
+func (p *Profile) CriticalWorker() int {
+	best, bestEdges := 0, int64(-1)
+	for w, e := range p.WorkerOutEdges {
+		if e > bestEdges {
+			best, bestEdges = w, e
+		}
+	}
+	return best
+}
+
+// CriticalShare returns the critical worker's fraction of all outbound
+// edges. Multiplying graph-level feature totals by this share approximates
+// the critical worker's load.
+func (p *Profile) CriticalShare() float64 {
+	if p.GraphEdges == 0 {
+		return 0
+	}
+	return float64(p.WorkerOutEdges[p.CriticalWorker()]) / float64(p.GraphEdges)
+}
+
+// SuperstepPhaseSeconds sums the simulated seconds of all supersteps — the
+// phase PREDIcT predicts (§2.2).
+func (p *Profile) SuperstepPhaseSeconds() float64 {
+	var t float64
+	for i := range p.Supersteps {
+		t += p.Supersteps[i].Seconds
+	}
+	return t
+}
+
+// TotalSeconds is the end-to-end simulated runtime including setup, read
+// and write phases (the quantity in Table 3).
+func (p *Profile) TotalSeconds() float64 {
+	return p.SetupSeconds + p.ReadSeconds + p.SuperstepPhaseSeconds() + p.WriteSeconds
+}
+
+// Iterations is the number of executed supersteps.
+func (p *Profile) Iterations() int { return len(p.Supersteps) }

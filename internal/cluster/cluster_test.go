@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestWorkerLoadAdd(t *testing.T) {
+	a := WorkerLoad{ActiveVertices: 1, TotalVertices: 2, LocalMessages: 3,
+		RemoteMessages: 4, LocalMessageBytes: 5, RemoteMessageBytes: 6}
+	b := a
+	a.Add(b)
+	if a.ActiveVertices != 2 || a.RemoteMessageBytes != 12 {
+		t.Errorf("Add: got %+v", a)
+	}
+	if a.Messages() != 14 {
+		t.Errorf("Messages = %d, want 14", a.Messages())
+	}
+	if a.MessageBytes() != 22 {
+		t.Errorf("MessageBytes = %d, want 22", a.MessageBytes())
+	}
+}
+
+func TestWorkerSecondsNoiseless(t *testing.T) {
+	o := CostOracle{
+		PerActiveVertex:  1,
+		PerLocalMessage:  10,
+		PerRemoteMessage: 100,
+	}
+	l := WorkerLoad{ActiveVertices: 2, LocalMessages: 3, RemoteMessages: 4}
+	got := o.WorkerSeconds(l, nil)
+	want := 2.0 + 30 + 400
+	if got != want {
+		t.Errorf("WorkerSeconds = %v, want %v", got, want)
+	}
+}
+
+func TestWorkerSecondsNoiseIsBoundedAndSeeded(t *testing.T) {
+	o := DefaultOracle()
+	o.NoiseStdDev = 0.05
+	l := WorkerLoad{ActiveVertices: 1e6, RemoteMessages: 1e6, RemoteMessageBytes: 8e6}
+	base := o.WorkerSeconds(l, nil)
+	rng1 := rand.New(rand.NewPCG(1, 2))
+	rng2 := rand.New(rand.NewPCG(1, 2))
+	t1 := o.WorkerSeconds(l, rng1)
+	t2 := o.WorkerSeconds(l, rng2)
+	if t1 != t2 {
+		t.Error("same seed produced different noisy times")
+	}
+	if math.Abs(t1-base)/base > 0.5 {
+		t.Errorf("noise moved time by more than 50%%: %v vs %v", t1, base)
+	}
+}
+
+func TestSuperstepSecondsIsCriticalPath(t *testing.T) {
+	o := CostOracle{BarrierOverhead: 1}
+	got := o.SuperstepSeconds([]float64{1, 5, 3})
+	if got != 6 {
+		t.Errorf("SuperstepSeconds = %v, want 6 (max 5 + barrier 1)", got)
+	}
+}
+
+func TestReadWriteSeconds(t *testing.T) {
+	o := CostOracle{ReadPerVertex: 2, ReadPerEdge: 1, WritePerVertex: 4}
+	if got := o.ReadSeconds(10, 100, 2); got != (20+100)/2.0 {
+		t.Errorf("ReadSeconds = %v, want 60", got)
+	}
+	if got := o.WriteSeconds(10, 2); got != 20 {
+		t.Errorf("WriteSeconds = %v, want 20", got)
+	}
+	// Zero workers must not divide by zero.
+	if got := o.ReadSeconds(10, 0, 0); got != 20 {
+		t.Errorf("ReadSeconds with 0 workers = %v, want 20", got)
+	}
+}
+
+func TestDefaultOracleShape(t *testing.T) {
+	o := DefaultOracle()
+	if o.PerRemoteMessage <= o.PerLocalMessage {
+		t.Error("remote messages should cost more than local ones")
+	}
+	if o.PerRemoteByte <= o.PerLocalByte {
+		t.Error("remote bytes should cost more than local ones")
+	}
+	if o.SetupSeconds <= 0 || o.BarrierOverhead <= 0 {
+		t.Error("fixed overheads must be positive to reproduce Table 3 shape")
+	}
+	if o.MemoryBudgetBytes <= 0 {
+		t.Error("default oracle should carry a finite memory budget")
+	}
+}

@@ -1,0 +1,274 @@
+// Package core implements the PREDIcT pipeline of Figure 1: sample the
+// input graph, run the transformed algorithm on the sample while profiling
+// key input features, extrapolate the features to full-graph scale, and
+// translate them into runtime through a fitted cost model.
+package core
+
+import (
+	"fmt"
+
+	"predict/internal/algorithms"
+	"predict/internal/bsp"
+	"predict/internal/costmodel"
+	"predict/internal/features"
+	"predict/internal/graph"
+	"predict/internal/sampling"
+)
+
+// Options configures a Predictor.
+type Options struct {
+	// Method is the sampling technique; the default is Biased Random Jump,
+	// the paper's default (§3.2.1).
+	Method sampling.Method
+	// Sampling carries the sampling ratio, restart probability, seed etc.
+	Sampling sampling.Options
+	// BSP is the execution environment used for the sample run. Per the
+	// paper's assumption iii, it must match the actual run's environment
+	// (same workers, same cost oracle).
+	BSP bsp.Config
+	// Mode selects per-iteration feature reduction; the default is
+	// critical-path share scaling (§3.4).
+	Mode features.Mode
+	// CostModel configures regression and feature selection.
+	CostModel costmodel.Options
+	// History holds profiled runs of the same algorithm on other datasets;
+	// when present they join the sample run as training data (§3.4,
+	// "Training Methodology").
+	History []costmodel.TrainingRun
+	// TrainingRatios lists additional sampling ratios whose sample runs
+	// train the cost model alongside the main sample run. The paper trains
+	// on sample runs at ratios 0.05, 0.1, 0.15 and 0.2 (§5.2); multiple
+	// scales give the regression the feature range a single run of a
+	// constant-per-iteration algorithm cannot provide.
+	TrainingRatios []float64
+	// DisableTransform skips the transform function (ablation: the §1.1
+	// example shows why this breaks iteration invariants).
+	DisableTransform bool
+	// ExtrapolateVerticesOnly scales all features by eV (ablation for the
+	// two-factor extrapolator).
+	ExtrapolateVerticesOnly bool
+}
+
+// Predictor runs the PREDIcT methodology for one algorithm on one graph.
+type Predictor struct {
+	opts Options
+}
+
+// New returns a Predictor with the given options.
+func New(opts Options) *Predictor {
+	if opts.Method == "" {
+		opts.Method = sampling.BiasedRandomJump
+	}
+	return &Predictor{opts: opts}
+}
+
+// Prediction is the outcome of the pipeline.
+type Prediction struct {
+	// Algorithm is the predicted algorithm's name.
+	Algorithm string
+	// Iterations is the predicted iteration count — the sample run's
+	// count, preserved by the transform function rather than extrapolated.
+	Iterations int
+	// PerIterationSeconds holds the cost model's per-iteration runtime
+	// estimates on extrapolated features.
+	PerIterationSeconds []float64
+	// SuperstepSeconds is the predicted superstep-phase runtime (the sum
+	// of PerIterationSeconds) — the quantity §2.2 targets.
+	SuperstepSeconds float64
+	// PredictedRemoteMessageBytes is the extrapolated total of remote
+	// message bytes across iterations (Figure 6's second panel).
+	PredictedRemoteMessageBytes float64
+	// Model is the fitted cost model (inspect R2, selected features,
+	// coefficients).
+	Model *costmodel.Model
+	// Scale holds the extrapolation factors eV, eE.
+	Scale features.Scale
+	// Sample is the sampling result used for the sample run.
+	Sample *sampling.Result
+	// SampleRun is the profiled sample run.
+	SampleRun *algorithms.RunInfo
+	// SampleRunSeconds is the end-to-end simulated cost of the sample run,
+	// the overhead quantity of Table 3.
+	SampleRunSeconds float64
+	// CriticalShareSample/Full are the critical-path workers' outbound
+	// edge shares on the sample and full graph.
+	CriticalShareSample float64
+	CriticalShareFull   float64
+}
+
+// Predict runs the full pipeline for alg on g.
+func (p *Predictor) Predict(alg algorithms.Algorithm, g *graph.Graph) (*Prediction, error) {
+	// 1. Sample run input: structure-preserving sample of g.
+	sample, err := sampling.Sample(g, p.opts.Method, p.opts.Sampling)
+	if err != nil {
+		return nil, fmt.Errorf("core: sampling: %w", err)
+	}
+
+	// 2. Transform function: adjust convergence parameters to the sample.
+	runAlg := alg
+	if !p.opts.DisableTransform {
+		runAlg = alg.Transformed(sample.VertexRatio)
+	}
+
+	// 3. Sample run with feature profiling.
+	sampleRun, err := runAlg.Run(sample.Graph, p.opts.BSP)
+	if err != nil {
+		return nil, fmt.Errorf("core: sample run: %w", err)
+	}
+
+	// 4. Extrapolation factors from achieved sample size.
+	scale, err := features.NewScale(g.NumVertices(), sample.Graph.NumVertices(),
+		g.NumEdges(), sample.Graph.NumEdges())
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if p.opts.ExtrapolateVerticesOnly {
+		scale = scale.VerticesOnly()
+	}
+
+	// 5. Cost model: train on the sample run, any additional-ratio sample
+	// runs, and any history.
+	iterFeats := features.FromProfile(sampleRun.Profile, p.opts.Mode)
+	training := append(append([]costmodel.TrainingRun(nil), p.opts.History...),
+		costmodel.TrainingRun{Source: "sample", Iters: iterFeats})
+	extra, err := p.trainingSampleRuns(alg, g)
+	if err != nil {
+		return nil, err
+	}
+	training = append(training, extra...)
+	model, err := costmodel.Train(training, p.opts.CostModel)
+	if err != nil {
+		return nil, fmt.Errorf("core: training cost model: %w", err)
+	}
+
+	// 6. Critical-path adjustment: move vectors from the sample graph's
+	// critical share to the full graph's (both known before execution).
+	// Both shares are computed on the *input* graphs so they stay
+	// consistent for algorithms that internally symmetrize (the
+	// symmetrization distorts both shares equally, so the ratio holds).
+	workers := p.opts.BSP.Workers
+	if workers == 0 {
+		workers = bsp.DefaultWorkers
+	}
+	shareFactor := 1.0
+	if p.opts.Mode == features.ModeCriticalShare {
+		shareS := bsp.CriticalShareOf(sample.Graph, workers)
+		shareG := bsp.CriticalShareOf(g, workers)
+		if shareS > 0 && shareG > 0 {
+			shareFactor = shareG / shareS
+		}
+	}
+
+	// 7. Per-iteration prediction on extrapolated features.
+	pred := &Prediction{
+		Algorithm:           alg.Name(),
+		Iterations:          sampleRun.Iterations,
+		Model:               model,
+		Scale:               scale,
+		Sample:              sample,
+		SampleRun:           sampleRun,
+		SampleRunSeconds:    sampleRun.Profile.TotalSeconds(),
+		CriticalShareSample: sampleRun.Profile.CriticalShare(),
+		CriticalShareFull:   bsp.CriticalShareOf(g, workers),
+	}
+	totals := features.FromProfile(sampleRun.Profile, features.ModeTotals)
+	for i, it := range iterFeats {
+		x := scale.Apply(it.Vector).RescaleShare(shareFactor)
+		secs := model.PredictIteration(x)
+		pred.PerIterationSeconds = append(pred.PerIterationSeconds, secs)
+		pred.SuperstepSeconds += secs
+		pred.PredictedRemoteMessageBytes += totals[i].Vector.Get(features.RemMsgSize) * scale.EE
+	}
+	return pred, nil
+}
+
+// SampleVertexRatio returns the achieved |V_S|/|V_G| of the sample run.
+func (p *Prediction) SampleVertexRatio() float64 {
+	if p.Sample == nil {
+		return 0
+	}
+	return p.Sample.VertexRatio
+}
+
+// SampleEdgeRatio returns the achieved |E_S|/|E_G| of the sample run.
+func (p *Prediction) SampleEdgeRatio() float64 {
+	if p.Sample == nil {
+		return 0
+	}
+	return p.Sample.EdgeRatio
+}
+
+// trainingSampleRuns executes sample runs at each additional training
+// ratio (skipping the main prediction ratio) and converts them into
+// training data.
+func (p *Predictor) trainingSampleRuns(alg algorithms.Algorithm, g *graph.Graph) ([]costmodel.TrainingRun, error) {
+	var out []costmodel.TrainingRun
+	for i, ratio := range p.opts.TrainingRatios {
+		if ratio == p.opts.Sampling.Ratio {
+			continue // the main sample run already contributes
+		}
+		sOpts := p.opts.Sampling
+		sOpts.Ratio = ratio
+		sOpts.Seed = p.opts.Sampling.Seed + uint64(i) + 1
+		s, err := sampling.Sample(g, p.opts.Method, sOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: training sample at ratio %v: %w", ratio, err)
+		}
+		runAlg := alg
+		if !p.opts.DisableTransform {
+			runAlg = alg.Transformed(s.VertexRatio)
+		}
+		ri, err := runAlg.Run(s.Graph, p.opts.BSP)
+		if err != nil {
+			return nil, fmt.Errorf("core: training sample run at ratio %v: %w", ratio, err)
+		}
+		out = append(out, costmodel.FromProfile(
+			fmt.Sprintf("sample sr=%.2f", ratio), ri.Profile, p.opts.Mode))
+	}
+	return out, nil
+}
+
+// Evaluation compares a prediction against a profiled actual run.
+type Evaluation struct {
+	PredictedIterations int
+	ActualIterations    int
+	// IterationsError is the signed relative error on iteration count —
+	// the y-axis of Figures 4, 5, 6 (top) and 9.
+	IterationsError  float64
+	PredictedSeconds float64
+	ActualSeconds    float64
+	// RuntimeError is the signed relative error on superstep-phase
+	// runtime — the y-axis of Figures 7 and 8.
+	RuntimeError         float64
+	PredictedRemoteBytes float64
+	ActualRemoteBytes    float64
+	// RemoteBytesError is the signed relative error on total remote
+	// message bytes — the y-axis of Figure 6 (bottom).
+	RemoteBytesError float64
+}
+
+// Evaluate computes the paper's error metrics for a prediction against the
+// actual run's profile.
+func Evaluate(pred *Prediction, actual *algorithms.RunInfo) Evaluation {
+	ev := Evaluation{
+		PredictedIterations:  pred.Iterations,
+		ActualIterations:     actual.Iterations,
+		PredictedSeconds:     pred.SuperstepSeconds,
+		ActualSeconds:        actual.Profile.SuperstepPhaseSeconds(),
+		PredictedRemoteBytes: pred.PredictedRemoteMessageBytes,
+	}
+	for i := range actual.Profile.Supersteps {
+		ev.ActualRemoteBytes += float64(actual.Profile.Supersteps[i].Total().RemoteMessageBytes)
+	}
+	ev.IterationsError = signedRel(float64(ev.PredictedIterations), float64(ev.ActualIterations))
+	ev.RuntimeError = signedRel(ev.PredictedSeconds, ev.ActualSeconds)
+	ev.RemoteBytesError = signedRel(ev.PredictedRemoteBytes, ev.ActualRemoteBytes)
+	return ev
+}
+
+func signedRel(pred, actual float64) float64 {
+	if actual == 0 {
+		return 0
+	}
+	return (pred - actual) / actual
+}

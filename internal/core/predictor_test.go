@@ -1,0 +1,227 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"predict/internal/algorithms"
+	"predict/internal/bsp"
+	"predict/internal/cluster"
+	"predict/internal/costmodel"
+	"predict/internal/features"
+	"predict/internal/gen"
+	"predict/internal/graph"
+	"predict/internal/sampling"
+)
+
+// testEnv returns the shared BSP environment for predictor tests: modest
+// noise, no memory budget, fixed seed.
+func testEnv() bsp.Config {
+	o := cluster.DefaultOracle()
+	o.NoiseStdDev = 0.02
+	o.MemoryBudgetBytes = 0
+	return bsp.Config{Workers: 4, Oracle: &o, Seed: 11}
+}
+
+func testOptions(ratio float64) Options {
+	return Options{
+		Sampling:       sampling.Options{Ratio: ratio, Seed: 5},
+		BSP:            testEnv(),
+		TrainingRatios: []float64{0.05, 0.1, 0.15, 0.2},
+	}
+}
+
+func testGraphBA() *graph.Graph {
+	return gen.BarabasiAlbert(6000, 6, 0.4, 42)
+}
+
+func TestPredictPageRankEndToEnd(t *testing.T) {
+	g := testGraphBA()
+	pr := algorithms.NewPageRank()
+	pr.Tau = algorithms.TauForTolerance(0.001, g.NumVertices())
+
+	p := New(testOptions(0.15))
+	pred, err := p.Predict(pr, g)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	actual, err := pr.Run(g, testEnv())
+	if err != nil {
+		t.Fatalf("actual run: %v", err)
+	}
+	ev := Evaluate(pred, actual)
+
+	if math.Abs(ev.IterationsError) > 0.40 {
+		t.Errorf("iterations error %.2f (predicted %d, actual %d), want within 40%%",
+			ev.IterationsError, ev.PredictedIterations, ev.ActualIterations)
+	}
+	if math.Abs(ev.RuntimeError) > 0.60 {
+		t.Errorf("runtime error %.2f (predicted %.1fs, actual %.1fs), want within 60%%",
+			ev.RuntimeError, ev.PredictedSeconds, ev.ActualSeconds)
+	}
+	if pred.Model.R2() < 0.5 {
+		t.Errorf("cost model R2 = %v, suspiciously poor fit", pred.Model.R2())
+	}
+	// The sample run's superstep phase must be cheaper than the actual
+	// run's (fixed setup costs dominate both at this tiny test scale, so
+	// compare the phase PREDIcT targets).
+	if s, a := pred.SampleRun.Profile.SuperstepPhaseSeconds(), actual.Profile.SuperstepPhaseSeconds(); s >= a {
+		t.Errorf("sample superstep phase (%.1fs) not cheaper than actual (%.1fs)", s, a)
+	}
+}
+
+func TestPredictTopKEndToEnd(t *testing.T) {
+	g := testGraphBA()
+	tk := algorithms.NewTopKRanking()
+	tk.PageRank.Tau = algorithms.TauForTolerance(0.001, g.NumVertices())
+
+	p := New(testOptions(0.15))
+	pred, err := p.Predict(tk, g)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	actual, err := tk.Run(g, testEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(pred, actual)
+	if math.Abs(ev.RemoteBytesError) > 0.8 {
+		t.Errorf("remote bytes error %.2f, want within 80%%", ev.RemoteBytesError)
+	}
+	if ev.ActualRemoteBytes == 0 || ev.PredictedRemoteBytes == 0 {
+		t.Error("remote byte accounting missing")
+	}
+}
+
+func TestPredictionIterationsComeFromSampleRun(t *testing.T) {
+	g := testGraphBA()
+	pr := algorithms.NewPageRank()
+	pr.Tau = algorithms.TauForTolerance(0.01, g.NumVertices())
+	p := New(testOptions(0.1))
+	pred, err := p.Predict(pr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Iterations != pred.SampleRun.Iterations {
+		t.Errorf("Iterations %d != sample run's %d", pred.Iterations, pred.SampleRun.Iterations)
+	}
+	if len(pred.PerIterationSeconds) != pred.Iterations {
+		t.Errorf("%d per-iteration estimates for %d iterations",
+			len(pred.PerIterationSeconds), pred.Iterations)
+	}
+	var sum float64
+	for _, s := range pred.PerIterationSeconds {
+		sum += s
+	}
+	if math.Abs(sum-pred.SuperstepSeconds) > 1e-9 {
+		t.Error("SuperstepSeconds != sum of per-iteration estimates")
+	}
+}
+
+func TestTransformMattersForPageRank(t *testing.T) {
+	// Without the transform function the sample run uses the full graph's
+	// absolute threshold; on a 10x smaller sample the per-vertex deltas
+	// are 10x larger, so the untransformed run must need MORE iterations
+	// than the transformed one (it starts further above the threshold).
+	g := testGraphBA()
+	pr := algorithms.NewPageRank()
+	pr.Tau = algorithms.TauForTolerance(0.001, g.NumVertices())
+
+	with := New(testOptions(0.1))
+	predWith, err := with.Predict(pr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	optsNo := testOptions(0.1)
+	optsNo.DisableTransform = true
+	without := New(optsNo)
+	predWithout, err := without.Predict(pr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if predWithout.Iterations <= predWith.Iterations {
+		t.Errorf("untransformed sample run %d iterations <= transformed %d; transform should matter",
+			predWithout.Iterations, predWith.Iterations)
+	}
+	actual, err := pr.Run(g, testEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	errWith := math.Abs(float64(predWith.Iterations-actual.Iterations) / float64(actual.Iterations))
+	errWithout := math.Abs(float64(predWithout.Iterations-actual.Iterations) / float64(actual.Iterations))
+	if errWith > errWithout {
+		t.Errorf("transform hurt iteration accuracy: with %.2f, without %.2f", errWith, errWithout)
+	}
+}
+
+func TestHistoryTrainingIsUsed(t *testing.T) {
+	g := testGraphBA()
+	pr := algorithms.NewPageRank()
+	pr.Tau = algorithms.TauForTolerance(0.001, g.NumVertices())
+
+	// History: an actual run on a different dataset.
+	other := gen.RMAT(4000, 10, gen.DefaultRMAT(), 77)
+	prOther := algorithms.NewPageRank()
+	prOther.Tau = algorithms.TauForTolerance(0.001, other.NumVertices())
+	otherRun, err := prOther.Run(other, testEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := testOptions(0.1)
+	opts.History = []costmodel.TrainingRun{
+		costmodel.FromProfile("actual RMAT", otherRun.Profile, features.ModeCriticalShare),
+	}
+	pred, err := New(opts).Predict(pr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Model.R2() < 0.5 {
+		t.Errorf("history-trained model R2 = %v", pred.Model.R2())
+	}
+	// The prediction should still be in a sane band.
+	actual, err := pr.Run(g, testEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := Evaluate(pred, actual)
+	if math.Abs(ev.RuntimeError) > 0.8 {
+		t.Errorf("runtime error with history = %.2f", ev.RuntimeError)
+	}
+}
+
+func TestPredictErrorPaths(t *testing.T) {
+	g := testGraphBA()
+	pr := algorithms.NewPageRank()
+
+	// Bad sampling ratio propagates.
+	opts := testOptions(0)
+	if _, err := New(opts).Predict(pr, g); err == nil {
+		t.Error("ratio 0 accepted")
+	}
+}
+
+func TestDefaultMethodIsBRJ(t *testing.T) {
+	p := New(Options{})
+	if p.opts.Method != sampling.BiasedRandomJump {
+		t.Errorf("default method = %s, want BRJ", p.opts.Method)
+	}
+}
+
+func TestEvaluateArithmetic(t *testing.T) {
+	pred := &Prediction{
+		Iterations:                  10,
+		SuperstepSeconds:            200,
+		PredictedRemoteMessageBytes: 1000,
+	}
+	actual := &algorithms.RunInfo{
+		Iterations: 8,
+		Profile:    &bsp.Profile{},
+	}
+	ev := Evaluate(pred, actual)
+	if math.Abs(ev.IterationsError-0.25) > 1e-12 {
+		t.Errorf("IterationsError = %v, want 0.25", ev.IterationsError)
+	}
+	if ev.ActualSeconds != 0 || ev.RuntimeError != 0 {
+		t.Errorf("zero-actual runtime handling: %+v", ev)
+	}
+}

@@ -1,0 +1,115 @@
+// Package costmodel builds the customizable cost models of §3.4: per
+// iteration, a multivariate linear regression from key input features to
+// runtime, with features chosen by sequential forward selection. Models
+// train on sample runs and, when available, historical actual runs of the
+// same algorithm on other datasets, and are then reused across input
+// datasets.
+package costmodel
+
+import (
+	"errors"
+	"fmt"
+
+	"predict/internal/bsp"
+	"predict/internal/features"
+	"predict/internal/regress"
+)
+
+// TrainingRun is one profiled run contributing training rows: each
+// iteration is an observation (features -> seconds).
+type TrainingRun struct {
+	// Source labels the run (e.g. "sample sr=0.10 Wiki" or "actual UK")
+	// for diagnostics.
+	Source string
+	// Iters holds the per-iteration observations.
+	Iters []features.IterationFeatures
+}
+
+// FromProfile converts a run profile into a TrainingRun under a feature
+// mode.
+func FromProfile(source string, p *bsp.Profile, mode features.Mode) TrainingRun {
+	return TrainingRun{Source: source, Iters: features.FromProfile(p, mode)}
+}
+
+// Options configures model training.
+type Options struct {
+	// MaxFeatures caps forward selection; zero selects 4.
+	MaxFeatures int
+	// DisableSelection fits all pool features without selection (ablation).
+	DisableSelection bool
+}
+
+// Model is a fitted per-iteration cost model.
+type Model struct {
+	fit  *regress.Fit
+	pool []features.Name
+}
+
+// ErrNoTrainingData reports an empty training set.
+var ErrNoTrainingData = errors.New("costmodel: no training data")
+
+// Train fits a cost model on the union of all runs' iterations.
+func Train(runs []TrainingRun, opts Options) (*Model, error) {
+	var X [][]float64
+	var y []float64
+	for _, r := range runs {
+		for _, it := range r.Iters {
+			X = append(X, it.Vector)
+			y = append(y, it.Seconds)
+		}
+	}
+	if len(X) == 0 {
+		return nil, ErrNoTrainingData
+	}
+	maxF := opts.MaxFeatures
+	if maxF == 0 {
+		maxF = 4
+	}
+	var fit *regress.Fit
+	var err error
+	if opts.DisableSelection {
+		fit, err = regress.OLS(X, y)
+	} else {
+		fit, err = regress.ForwardSelect(X, y, maxF)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("costmodel: fitting: %w", err)
+	}
+	return &Model{fit: fit, pool: features.Pool()}, nil
+}
+
+// PredictIteration prices one iteration from its (extrapolated) feature
+// vector. Predictions are clamped at zero: the linear model can go
+// negative far outside its training range.
+func (m *Model) PredictIteration(v features.Vector) float64 {
+	t := m.fit.Predict(v)
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+// R2 returns the coefficient of determination on the training data — the
+// paper's per-model fit statistic (§5.2 reports R² per dataset).
+func (m *Model) R2() float64 { return m.fit.R2 }
+
+// SelectedFeatures lists the features forward selection kept, in selection
+// order.
+func (m *Model) SelectedFeatures() []features.Name {
+	out := make([]features.Name, len(m.fit.FeatureIdx))
+	for i, idx := range m.fit.FeatureIdx {
+		out[i] = m.pool[idx]
+	}
+	return out
+}
+
+// Coefficients returns the fitted cost factors by feature, plus the
+// intercept (the residual term r). These are the per-feature "cost values"
+// the paper interprets (§3.4).
+func (m *Model) Coefficients() (map[features.Name]float64, float64) {
+	coefs := make(map[features.Name]float64, len(m.fit.Coef))
+	for i, idx := range m.fit.FeatureIdx {
+		coefs[m.pool[idx]] = m.fit.Coef[i]
+	}
+	return coefs, m.fit.Intercept
+}

@@ -1,0 +1,71 @@
+package costmodel
+
+import (
+	"fmt"
+
+	"predict/internal/features"
+	"predict/internal/regress"
+)
+
+// HybridModel implements the paper's "Cost Model Extensions" (§3.4): when
+// the compute phase is not linear in the key input features, a nonlinear
+// model corrects the linear one. The linear part carries the
+// extrapolation (a fixed functional form predicts outside the training
+// boundaries); a regression tree fitted on the linear model's residuals
+// captures nonlinear structure *within* the training range. Residual
+// corrections are damped to zero outside the tree's reliable range, so
+// extrapolation falls back to the linear model — the paper's stated
+// reason for preferring a fixed functional form.
+type HybridModel struct {
+	linear *Model
+	tree   *regress.Tree
+	// maxTrained guards extrapolation: feature vectors whose RemMsg
+	// exceeds the training maximum skip the residual correction.
+	maxTrained float64
+}
+
+// TrainHybrid fits the linear model and a residual tree.
+func TrainHybrid(runs []TrainingRun, opts Options, treeOpts regress.TreeOptions) (*HybridModel, error) {
+	linear, err := Train(runs, opts)
+	if err != nil {
+		return nil, err
+	}
+	var X [][]float64
+	var resid []float64
+	var maxTrained float64
+	remIdx, err := features.Index(features.RemMsg)
+	if err != nil {
+		return nil, err
+	}
+	for _, r := range runs {
+		for _, it := range r.Iters {
+			X = append(X, it.Vector)
+			resid = append(resid, it.Seconds-linear.PredictIteration(it.Vector))
+			if v := it.Vector[remIdx]; v > maxTrained {
+				maxTrained = v
+			}
+		}
+	}
+	tree, err := regress.FitTree(X, resid, treeOpts)
+	if err != nil {
+		return nil, fmt.Errorf("costmodel: residual tree: %w", err)
+	}
+	return &HybridModel{linear: linear, tree: tree, maxTrained: maxTrained}, nil
+}
+
+// PredictIteration prices one iteration: the linear estimate plus, inside
+// the training range, the tree's residual correction.
+func (h *HybridModel) PredictIteration(v features.Vector) float64 {
+	t := h.linear.PredictIteration(v)
+	remIdx, _ := features.Index(features.RemMsg)
+	if v[remIdx] <= h.maxTrained {
+		t += h.tree.Predict(v)
+	}
+	if t < 0 {
+		t = 0
+	}
+	return t
+}
+
+// Linear exposes the underlying linear model.
+func (h *HybridModel) Linear() *Model { return h.linear }

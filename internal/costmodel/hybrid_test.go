@@ -1,0 +1,72 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"predict/internal/features"
+	"predict/internal/regress"
+)
+
+// nonlinearRun builds a training run whose seconds have a step component
+// on top of a linear law — the shape §3.4's extension targets.
+func nonlinearRun(n int) TrainingRun {
+	run := TrainingRun{Source: "nonlinear"}
+	for i := 1; i <= n; i++ {
+		v := make(features.Vector, len(features.Pool()))
+		v[3] = float64(i) * 100  // RemMsg
+		v[5] = float64(i) * 1000 // RemMsgSize
+		v[6] = 10
+		secs := 0.5 + 1e-4*v[3]
+		if v[3] > float64(n)*50 { // step in the second half
+			secs += 3
+		}
+		run.Iters = append(run.Iters, features.IterationFeatures{Vector: v, Seconds: secs})
+	}
+	return run
+}
+
+func TestHybridBeatsLinearInRange(t *testing.T) {
+	run := nonlinearRun(40)
+	linear, err := Train([]TrainingRun{run}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := TrainHybrid([]TrainingRun{run}, Options{}, regress.TreeOptions{MaxDepth: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var linSSE, hybSSE float64
+	for _, it := range run.Iters {
+		dl := it.Seconds - linear.PredictIteration(it.Vector)
+		dh := it.Seconds - hybrid.PredictIteration(it.Vector)
+		linSSE += dl * dl
+		hybSSE += dh * dh
+	}
+	if hybSSE >= linSSE {
+		t.Errorf("hybrid SSE %v >= linear SSE %v on nonlinear data", hybSSE, linSSE)
+	}
+}
+
+func TestHybridFallsBackToLinearOutOfRange(t *testing.T) {
+	run := nonlinearRun(40)
+	hybrid, err := TrainHybrid([]TrainingRun{run}, Options{}, regress.TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far outside the training range the residual tree is skipped, so the
+	// hybrid equals its linear part.
+	v := make(features.Vector, len(features.Pool()))
+	v[3] = 1e9
+	v[5] = 1e10
+	v[6] = 10
+	if got, want := hybrid.PredictIteration(v), hybrid.Linear().PredictIteration(v); math.Abs(got-want) > 1e-9 {
+		t.Errorf("out-of-range hybrid = %v, linear = %v; want equal", got, want)
+	}
+}
+
+func TestHybridNoData(t *testing.T) {
+	if _, err := TrainHybrid(nil, Options{}, regress.TreeOptions{}); err == nil {
+		t.Fatal("empty training accepted")
+	}
+}

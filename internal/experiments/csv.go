@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits the figure as CSV (ratio column followed by one column
+// per series), ready for external plotting tools.
+func (f *FigureResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{"ratio"}, labelsOf(f.Series)...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, ratio := range ratiosOf(f.Series) {
+		row := []string{fmt.Sprintf("%g", ratio)}
+		for _, s := range f.Series {
+			cell := ""
+			for _, p := range s.Points {
+				if p.Ratio == ratio {
+					cell = fmt.Sprintf("%g", p.Value)
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the table as CSV.
+func (t *TableResult) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFigureWriteCSV(t *testing.T) {
+	f := &FigureResult{
+		ID: "F",
+		Series: []Series{
+			{Label: "A", Points: []Point{{Ratio: 0.1, Value: 0.5}, {Ratio: 0.2, Value: -0.25}}},
+			{Label: "B", Points: []Point{{Ratio: 0.1, Value: 1}}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := f.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3:\n%s", len(lines), buf.String())
+	}
+	if lines[0] != "ratio,A,B" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "0.1,0.5,1" {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	// Missing point renders as empty cell.
+	if lines[2] != "0.2,-0.25," {
+		t.Errorf("row 2 = %q", lines[2])
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tab := &TableResult{
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "x,y"}},
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,\"x,y\"\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}

@@ -1,0 +1,148 @@
+package features
+
+import (
+	"testing"
+
+	"predict/internal/bsp"
+	"predict/internal/cluster"
+)
+
+func sampleProfile() *bsp.Profile {
+	return &bsp.Profile{
+		NumWorkers:     2,
+		GraphVertices:  100,
+		GraphEdges:     1000,
+		WorkerVertices: []int64{50, 50},
+		WorkerOutEdges: []int64{600, 400},
+		Supersteps: []bsp.SuperstepProfile{
+			{
+				Workers: []cluster.WorkerLoad{
+					{ActiveVertices: 50, TotalVertices: 50, LocalMessages: 100,
+						RemoteMessages: 200, LocalMessageBytes: 800, RemoteMessageBytes: 1600},
+					{ActiveVertices: 50, TotalVertices: 50, LocalMessages: 100,
+						RemoteMessages: 200, LocalMessageBytes: 800, RemoteMessageBytes: 1600},
+				},
+				Seconds: 2.5,
+			},
+		},
+	}
+}
+
+func TestPoolOrderStable(t *testing.T) {
+	want := []Name{ActVert, TotVert, LocMsg, RemMsg, LocMsgSize, RemMsgSize, AvgMsgSize, SpillBytes}
+	got := Pool()
+	if len(got) != len(want) {
+		t.Fatalf("Pool size %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Pool[%d] = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIndex(t *testing.T) {
+	i, err := Index(RemMsgSize)
+	if err != nil || i != 5 {
+		t.Errorf("Index(RemMsgSize) = %d, %v; want 5, nil", i, err)
+	}
+	if _, err := Index(Name("bogus")); err == nil {
+		t.Error("Index(bogus) succeeded")
+	}
+}
+
+func TestFromProfileTotalsMode(t *testing.T) {
+	fs := FromProfile(sampleProfile(), ModeTotals)
+	if len(fs) != 1 {
+		t.Fatalf("got %d iterations, want 1", len(fs))
+	}
+	v := fs[0].Vector
+	if v.Get(ActVert) != 100 {
+		t.Errorf("ActVert = %v, want 100", v.Get(ActVert))
+	}
+	if v.Get(RemMsg) != 400 {
+		t.Errorf("RemMsg = %v, want 400", v.Get(RemMsg))
+	}
+	if v.Get(RemMsgSize) != 3200 {
+		t.Errorf("RemMsgSize = %v, want 3200", v.Get(RemMsgSize))
+	}
+	// AvgMsgSize = total bytes / total msgs = 4800/600 = 8.
+	if v.Get(AvgMsgSize) != 8 {
+		t.Errorf("AvgMsgSize = %v, want 8", v.Get(AvgMsgSize))
+	}
+	if fs[0].Seconds != 2.5 {
+		t.Errorf("Seconds = %v, want 2.5", fs[0].Seconds)
+	}
+}
+
+func TestFromProfileCriticalShare(t *testing.T) {
+	p := sampleProfile()
+	fs := FromProfile(p, ModeCriticalShare)
+	// Critical share = 600/1000 = 0.6.
+	if got := fs[0].Vector.Get(ActVert); got != 60 {
+		t.Errorf("ActVert = %v, want 60 (= 100 * 0.6)", got)
+	}
+	// AvgMsgSize must not be share-scaled.
+	if got := fs[0].Vector.Get(AvgMsgSize); got != 8 {
+		t.Errorf("AvgMsgSize = %v, want 8", got)
+	}
+}
+
+func TestFromProfileMeanWorker(t *testing.T) {
+	fs := FromProfile(sampleProfile(), ModeMeanWorker)
+	if got := fs[0].Vector.Get(ActVert); got != 50 {
+		t.Errorf("ActVert = %v, want 50 (= 100/2)", got)
+	}
+}
+
+func TestScaleApply(t *testing.T) {
+	s := Scale{EV: 10, EE: 20}
+	v := Vector{1, 2, 3, 4, 5, 6, 7, 8}
+	out := s.Apply(v)
+	want := Vector{10, 20, 60, 80, 100, 120, 7, 160}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("Apply[%d] = %v, want %v", i, out[i], want[i])
+		}
+	}
+	// Original untouched.
+	if v[0] != 1 {
+		t.Error("Apply mutated its input")
+	}
+}
+
+func TestScaleVerticesOnly(t *testing.T) {
+	s := Scale{EV: 10, EE: 20}.VerticesOnly()
+	if s.EE != 10 {
+		t.Errorf("VerticesOnly EE = %v, want 10", s.EE)
+	}
+}
+
+func TestNewScale(t *testing.T) {
+	s, err := NewScale(1000, 100, 50000, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.EV != 10 || s.EE != 20 {
+		t.Errorf("Scale = %+v, want EV=10 EE=20", s)
+	}
+	if _, err := NewScale(1000, 0, 50000, 2500); err == nil {
+		t.Error("empty sample accepted")
+	}
+}
+
+func TestRescaleShare(t *testing.T) {
+	v := Vector{1, 1, 1, 1, 1, 1, 9, 1}
+	out := v.RescaleShare(3)
+	for i := range out {
+		if i == 6 {
+			continue
+		}
+		if out[i] != 3 {
+			t.Errorf("RescaleShare[%d] = %v, want 3", i, out[i])
+		}
+	}
+	if out[6] != 9 {
+		t.Errorf("AvgMsgSize rescaled: %v, want 9", out[6])
+	}
+}

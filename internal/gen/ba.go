@@ -1,0 +1,61 @@
+package gen
+
+import (
+	"predict/internal/graph"
+)
+
+// BarabasiAlbert builds a directed scale-free graph by preferential
+// attachment: vertices arrive one at a time and attach m edges to existing
+// vertices chosen proportionally to their current total degree. Each
+// attachment produces the edge new->old; with probability backProb the
+// reverse edge old->new is added too, creating cycles (needed for
+// PageRank-style propagation to be non-trivial).
+//
+// The construction uses the standard repeated-endpoints trick, so it runs
+// in O(n*m) time.
+func BarabasiAlbert(n, m int, backProb float64, seed uint64) *graph.Graph {
+	if m < 1 {
+		m = 1
+	}
+	if n < m+1 {
+		n = m + 1
+	}
+	rng := rngFor(seed)
+	b := graph.NewBuilder(n)
+
+	// endpoints holds one entry per edge endpoint; sampling uniformly from
+	// it implements degree-proportional selection.
+	endpoints := make([]graph.VertexID, 0, 2*n*m)
+
+	// Seed clique over the first m+1 vertices.
+	for i := 0; i <= m; i++ {
+		for j := 0; j <= m; j++ {
+			if i == j {
+				continue
+			}
+			b.AddEdge(graph.VertexID(i), graph.VertexID(j))
+		}
+		for k := 0; k < m; k++ {
+			endpoints = append(endpoints, graph.VertexID(i))
+		}
+	}
+
+	for v := m + 1; v < n; v++ {
+		for e := 0; e < m; e++ {
+			target := endpoints[rng.IntN(len(endpoints))]
+			if int(target) == v {
+				continue
+			}
+			b.AddEdge(graph.VertexID(v), target)
+			if rng.Float64() < backProb {
+				b.AddEdge(target, graph.VertexID(v))
+			}
+			endpoints = append(endpoints, graph.VertexID(v), target)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic("gen: BarabasiAlbert: " + err.Error())
+	}
+	return g
+}

@@ -1,0 +1,58 @@
+package gen
+
+import (
+	"predict/internal/graph"
+)
+
+// WithTrapPairs returns a copy of g in which roughly fraction of the
+// vertices are rewired into reciprocal pairs: for each chosen pair (v,
+// v+1), the out-edges of both vertices are replaced by the single mutual
+// edge v <-> v+1. In-edges from the rest of the graph are preserved, so
+// rank mass still flows *into* the pairs.
+//
+// Reciprocal appendage pairs are the minimal rank-trap structure of real
+// web and social graphs: delta mass entering a pair recirculates at
+// exactly the damping rate, which makes PageRank-style convergence
+// damping-dominated (iterations ≈ log τ / log d) instead of
+// expander-fast. Because a random walk that enters a pair necessarily
+// visits both members, the traps survive walk-based sampling intact —
+// the property that lets the paper's transform function preserve
+// iteration counts between sample and full runs.
+func WithTrapPairs(g *graph.Graph, fraction float64) *graph.Graph {
+	n := g.NumVertices()
+	if fraction <= 0 || n < 4 {
+		return g
+	}
+	stride := int(2/fraction + 0.5)
+	if stride < 2 {
+		stride = 2
+	}
+	isTrap := make([]bool, n)
+	for v := 0; v+1 < n; v += stride {
+		isTrap[v] = true
+		isTrap[v+1] = true
+	}
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		if isTrap[v] {
+			continue // out-edges replaced below
+		}
+		ws := g.OutWeights(graph.VertexID(v))
+		for i, dst := range g.OutNeighbors(graph.VertexID(v)) {
+			if ws != nil {
+				b.AddWeightedEdge(graph.VertexID(v), dst, ws[i])
+			} else {
+				b.AddEdge(graph.VertexID(v), dst)
+			}
+		}
+	}
+	for v := 0; v+1 < n; v += stride {
+		b.AddEdge(graph.VertexID(v), graph.VertexID(v+1))
+		b.AddEdge(graph.VertexID(v+1), graph.VertexID(v))
+	}
+	out, err := b.Build()
+	if err != nil {
+		panic("gen: WithTrapPairs: " + err.Error())
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable Graph. Edges may be
+// added in any order; Build sorts adjacency lists, drops self-loops and
+// deduplicates parallel edges (keeping the first weight seen).
+//
+// The zero Builder is not usable; construct with NewBuilder.
+type Builder struct {
+	n        int
+	srcs     []VertexID
+	dsts     []VertexID
+	weights  []float32
+	weighted bool
+	keepSelf bool
+}
+
+// NewBuilder returns a Builder for a graph with numVertices vertices
+// (IDs 0..numVertices-1).
+func NewBuilder(numVertices int) *Builder {
+	return &Builder{n: numVertices}
+}
+
+// KeepSelfLoops configures the builder to retain self-loop edges, which are
+// dropped by default.
+func (b *Builder) KeepSelfLoops() *Builder {
+	b.keepSelf = true
+	return b
+}
+
+// AddEdge records the directed edge (src, dst).
+func (b *Builder) AddEdge(src, dst VertexID) {
+	b.srcs = append(b.srcs, src)
+	b.dsts = append(b.dsts, dst)
+	if b.weighted {
+		b.weights = append(b.weights, 1)
+	}
+}
+
+// AddWeightedEdge records the directed edge (src, dst) with weight w. Mixing
+// weighted and unweighted edges is allowed; unweighted edges default to 1.
+func (b *Builder) AddWeightedEdge(src, dst VertexID, w float32) {
+	if !b.weighted {
+		// Backfill weight 1 for edges added before the first weighted one.
+		b.weights = make([]float32, len(b.srcs), cap(b.srcs))
+		for i := range b.weights {
+			b.weights[i] = 1
+		}
+		b.weighted = true
+	}
+	b.srcs = append(b.srcs, src)
+	b.dsts = append(b.dsts, dst)
+	b.weights = append(b.weights, w)
+}
+
+// NumPendingEdges reports how many edges have been added so far (before
+// dedup).
+func (b *Builder) NumPendingEdges() int { return len(b.srcs) }
+
+// Build validates, sorts and deduplicates the accumulated edges and returns
+// the immutable Graph. The builder must not be reused afterwards.
+func (b *Builder) Build() (*Graph, error) {
+	if b.n < 0 {
+		return nil, errors.New("graph: negative vertex count")
+	}
+	for i := range b.srcs {
+		if int(b.srcs[i]) < 0 || int(b.srcs[i]) >= b.n {
+			return nil, fmt.Errorf("graph: edge %d has out-of-range source %d (n=%d)", i, b.srcs[i], b.n)
+		}
+		if int(b.dsts[i]) < 0 || int(b.dsts[i]) >= b.n {
+			return nil, fmt.Errorf("graph: edge %d has out-of-range destination %d (n=%d)", i, b.dsts[i], b.n)
+		}
+	}
+
+	// Counting sort by source to build CSR buckets, then sort each bucket
+	// by destination and deduplicate.
+	offsets := make([]int64, b.n+1)
+	for _, s := range b.srcs {
+		offsets[s+1]++
+	}
+	for i := 1; i <= b.n; i++ {
+		offsets[i] += offsets[i-1]
+	}
+	edges := make([]VertexID, len(b.srcs))
+	var weights []float32
+	if b.weighted {
+		weights = make([]float32, len(b.srcs))
+	}
+	cursor := make([]int64, b.n)
+	copy(cursor, offsets[:b.n])
+	for i, s := range b.srcs {
+		edges[cursor[s]] = b.dsts[i]
+		if weights != nil {
+			weights[cursor[s]] = b.weights[i]
+		}
+		cursor[s]++
+	}
+
+	// Per-bucket sort + dedup, compacting in place.
+	outEdges := edges[:0]
+	var outWeights []float32
+	if weights != nil {
+		outWeights = weights[:0]
+	}
+	newOffsets := make([]int64, b.n+1)
+	for v := 0; v < b.n; v++ {
+		lo, hi := offsets[v], offsets[v+1]
+		bucket := edges[lo:hi]
+		var wbucket []float32
+		if weights != nil {
+			wbucket = weights[lo:hi]
+			sortPairs(bucket, wbucket)
+		} else {
+			sort.Slice(bucket, func(i, j int) bool { return bucket[i] < bucket[j] })
+		}
+		var prev VertexID = -1
+		for i, dst := range bucket {
+			if dst == prev {
+				continue // parallel edge
+			}
+			if !b.keepSelf && int(dst) == v {
+				prev = dst
+				continue // self-loop
+			}
+			prev = dst
+			outEdges = append(outEdges, dst)
+			if weights != nil {
+				outWeights = append(outWeights, wbucket[i])
+			}
+		}
+		newOffsets[v+1] = int64(len(outEdges))
+	}
+
+	g := &Graph{
+		offsets: newOffsets,
+		edges:   outEdges,
+		weights: outWeights,
+	}
+	// Release builder storage.
+	b.srcs, b.dsts, b.weights = nil, nil, nil
+	return g, nil
+}
+
+// sortPairs sorts dsts ascending, permuting ws in lockstep.
+func sortPairs(dsts []VertexID, ws []float32) {
+	type pair struct {
+		d VertexID
+		w float32
+	}
+	if len(dsts) < 2 {
+		return
+	}
+	pairs := make([]pair, len(dsts))
+	for i := range dsts {
+		pairs[i] = pair{dsts[i], ws[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].d < pairs[j].d })
+	for i := range pairs {
+		dsts[i] = pairs[i].d
+		ws[i] = pairs[i].w
+	}
+}
+
+// FromEdges is a convenience constructor building an unweighted graph from
+// parallel src/dst slices.
+func FromEdges(numVertices int, srcs, dsts []VertexID) (*Graph, error) {
+	if len(srcs) != len(dsts) {
+		return nil, fmt.Errorf("graph: FromEdges: %d sources vs %d destinations", len(srcs), len(dsts))
+	}
+	b := NewBuilder(numVertices)
+	for i := range srcs {
+		b.AddEdge(srcs[i], dsts[i])
+	}
+	return b.Build()
+}
+
+// MustFromEdges is FromEdges but panics on error; intended for tests and
+// examples with literal edge lists.
+func MustFromEdges(numVertices int, edges [][2]VertexID) *Graph {
+	b := NewBuilder(numVertices)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

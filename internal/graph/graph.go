@@ -1,0 +1,240 @@
+// Package graph provides the directed-graph substrate used throughout the
+// PREDIcT reproduction: a compact CSR (compressed sparse row)
+// representation, a builder, induced subgraphs with vertex mappings, and
+// the structural properties that drive sampling fidelity (degree
+// statistics, effective diameter, clustering coefficient, power-law
+// exponent, connected components).
+//
+// Graphs are immutable once built. Vertex identifiers are dense integers
+// in [0, NumVertices). Parallel edges are deduplicated by the builder and
+// self-loops are dropped unless explicitly kept.
+package graph
+
+import (
+	"fmt"
+)
+
+// VertexID identifies a vertex. IDs are dense: every graph with n vertices
+// uses exactly the IDs 0..n-1.
+type VertexID int32
+
+// Graph is an immutable directed graph in CSR form. The zero value is an
+// empty graph with no vertices.
+type Graph struct {
+	offsets []int64    // len = n+1; out-edges of v are edges[offsets[v]:offsets[v+1]]
+	edges   []VertexID // concatenated adjacency lists, sorted per vertex
+	weights []float32  // optional, parallel to edges; nil if unweighted
+
+	// Reverse adjacency (in-edges), built lazily by EnsureInEdges or by the
+	// builder when requested.
+	inOffsets []int64
+	inEdges   []VertexID
+}
+
+// NumVertices reports the number of vertices.
+func (g *Graph) NumVertices() int {
+	if len(g.offsets) == 0 {
+		return 0
+	}
+	return len(g.offsets) - 1
+}
+
+// NumEdges reports the number of directed edges.
+func (g *Graph) NumEdges() int64 {
+	return int64(len(g.edges))
+}
+
+// OutDegree reports the number of out-edges of v.
+func (g *Graph) OutDegree(v VertexID) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// OutNeighbors returns the out-neighbors of v as a shared slice view.
+// Callers must not modify the returned slice.
+func (g *Graph) OutNeighbors(v VertexID) []VertexID {
+	return g.edges[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasWeights reports whether the graph carries edge weights.
+func (g *Graph) HasWeights() bool { return g.weights != nil }
+
+// OutWeights returns the weights parallel to OutNeighbors(v). It returns
+// nil for unweighted graphs.
+func (g *Graph) OutWeights(v VertexID) []float32 {
+	if g.weights == nil {
+		return nil
+	}
+	return g.weights[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasInEdges reports whether the reverse adjacency has been materialized.
+func (g *Graph) HasInEdges() bool { return g.inOffsets != nil }
+
+// EnsureInEdges materializes the reverse adjacency (in-edges) if it has not
+// been built yet. It is not safe for concurrent use with itself; callers
+// that share a Graph across goroutines should call it once up front.
+func (g *Graph) EnsureInEdges() {
+	if g.inOffsets != nil {
+		return
+	}
+	n := g.NumVertices()
+	inDeg := make([]int64, n+1)
+	for _, dst := range g.edges {
+		inDeg[dst+1]++
+	}
+	for i := 1; i <= n; i++ {
+		inDeg[i] += inDeg[i-1]
+	}
+	inEdges := make([]VertexID, len(g.edges))
+	cursor := make([]int64, n)
+	copy(cursor, inDeg[:n])
+	for src := 0; src < n; src++ {
+		for _, dst := range g.OutNeighbors(VertexID(src)) {
+			inEdges[cursor[dst]] = VertexID(src)
+			cursor[dst]++
+		}
+	}
+	g.inOffsets = inDeg
+	g.inEdges = inEdges
+}
+
+// InDegree reports the number of in-edges of v. It requires in-edges to be
+// materialized (see EnsureInEdges).
+func (g *Graph) InDegree(v VertexID) int {
+	if g.inOffsets == nil {
+		panic("graph: InDegree called before EnsureInEdges")
+	}
+	return int(g.inOffsets[v+1] - g.inOffsets[v])
+}
+
+// InNeighbors returns the in-neighbors of v as a shared slice view. It
+// requires in-edges to be materialized (see EnsureInEdges).
+func (g *Graph) InNeighbors(v VertexID) []VertexID {
+	if g.inOffsets == nil {
+		panic("graph: InNeighbors called before EnsureInEdges")
+	}
+	return g.inEdges[g.inOffsets[v]:g.inOffsets[v+1]]
+}
+
+// HasEdge reports whether the directed edge (src, dst) exists. It runs a
+// binary search over src's sorted adjacency list.
+func (g *Graph) HasEdge(src, dst VertexID) bool {
+	adj := g.OutNeighbors(src)
+	lo, hi := 0, len(adj)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if adj[mid] < dst {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(adj) && adj[lo] == dst
+}
+
+// AvgOutDegree reports the mean out-degree, 0 for an empty graph.
+func (g *Graph) AvgOutDegree() float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	return float64(g.NumEdges()) / float64(n)
+}
+
+// MaxOutDegree reports the largest out-degree in the graph.
+func (g *Graph) MaxOutDegree() int {
+	maxDeg := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if d := g.OutDegree(VertexID(v)); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg
+}
+
+// String summarizes the graph as "Graph(n=..., m=...)".
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(n=%d, m=%d)", g.NumVertices(), g.NumEdges())
+}
+
+// Reverse returns the transpose graph: every edge (u, v) becomes (v, u).
+// Weights are carried over.
+func (g *Graph) Reverse() *Graph {
+	n := g.NumVertices()
+	b := NewBuilder(n)
+	for src := 0; src < n; src++ {
+		ws := g.OutWeights(VertexID(src))
+		for i, dst := range g.OutNeighbors(VertexID(src)) {
+			if ws != nil {
+				b.AddWeightedEdge(dst, VertexID(src), ws[i])
+			} else {
+				b.AddEdge(dst, VertexID(src))
+			}
+		}
+	}
+	rg, err := b.Build()
+	if err != nil {
+		// Cannot happen: edges come from a valid graph.
+		panic("graph: Reverse: " + err.Error())
+	}
+	return rg
+}
+
+// Undirected returns the symmetric closure of g: for every edge (u, v) the
+// result contains both (u, v) and (v, u), deduplicated. Unweighted inputs
+// produce a result with weight 1.0 on every edge, which is the form the
+// semi-clustering algorithm expects.
+func (g *Graph) Undirected() *Graph {
+	n := g.NumVertices()
+	b := NewBuilder(n)
+	for src := 0; src < n; src++ {
+		ws := g.OutWeights(VertexID(src))
+		for i, dst := range g.OutNeighbors(VertexID(src)) {
+			w := float32(1.0)
+			if ws != nil {
+				w = ws[i]
+			}
+			b.AddWeightedEdge(VertexID(src), dst, w)
+			b.AddWeightedEdge(dst, VertexID(src), w)
+		}
+	}
+	ug, err := b.Build()
+	if err != nil {
+		panic("graph: Undirected: " + err.Error())
+	}
+	return ug
+}
+
+// OutDegrees returns a freshly allocated slice of out-degrees indexed by
+// vertex.
+func (g *Graph) OutDegrees() []int {
+	n := g.NumVertices()
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.OutDegree(VertexID(v))
+	}
+	return deg
+}
+
+// InDegrees returns a freshly allocated slice of in-degrees indexed by
+// vertex, materializing the reverse adjacency if needed.
+func (g *Graph) InDegrees() []int {
+	g.EnsureInEdges()
+	n := g.NumVertices()
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = g.InDegree(VertexID(v))
+	}
+	return deg
+}
+
+// TotalOutEdges returns, for an arbitrary subset of vertices, the sum of
+// their out-degrees. It is the quantity used to locate the critical-path
+// worker (the paper's §3.4 "Modeling the Critical Path").
+func (g *Graph) TotalOutEdges(vertices []VertexID) int64 {
+	var total int64
+	for _, v := range vertices {
+		total += int64(g.OutDegree(v))
+	}
+	return total
+}

@@ -1,0 +1,117 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g as a plain-text edge list: one "src dst [weight]"
+// line per edge, preceded by a header line "# vertices <n>". The format
+// round-trips through ReadEdgeList.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# vertices %d\n", g.NumVertices()); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		ws := g.OutWeights(VertexID(v))
+		for i, dst := range g.OutNeighbors(VertexID(v)) {
+			var err error
+			if ws != nil {
+				_, err = fmt.Fprintf(bw, "%d %d %g\n", v, dst, ws[i])
+			} else {
+				_, err = fmt.Fprintf(bw, "%d %d\n", v, dst)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format produced by WriteEdgeList. Lines starting
+// with '#' other than the vertex-count header are ignored, as are blank
+// lines. If no header is present the vertex count is inferred as
+// max(vertex ID)+1.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	n := -1
+	var srcs, dsts []VertexID
+	var weights []float32
+	weighted := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) == 3 && fields[1] == "vertices" {
+				v, err := strconv.Atoi(fields[2])
+				if err != nil {
+					return nil, fmt.Errorf("graph: line %d: bad vertex count %q", lineNo, fields[2])
+				}
+				n = v
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 && len(fields) != 3 {
+			return nil, fmt.Errorf("graph: line %d: expected 'src dst [weight]', got %q", lineNo, line)
+		}
+		src, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad source %q", lineNo, fields[0])
+		}
+		dst, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: bad destination %q", lineNo, fields[1])
+		}
+		srcs = append(srcs, VertexID(src))
+		dsts = append(dsts, VertexID(dst))
+		if len(fields) == 3 {
+			w, err := strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad weight %q", lineNo, fields[2])
+			}
+			for len(weights) < len(srcs)-1 {
+				weights = append(weights, 1)
+			}
+			weights = append(weights, float32(w))
+			weighted = true
+		} else if weighted {
+			weights = append(weights, 1)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		maxID := -1
+		for i := range srcs {
+			if int(srcs[i]) > maxID {
+				maxID = int(srcs[i])
+			}
+			if int(dsts[i]) > maxID {
+				maxID = int(dsts[i])
+			}
+		}
+		n = maxID + 1
+	}
+	b := NewBuilder(n)
+	for i := range srcs {
+		if weighted {
+			b.AddWeightedEdge(srcs[i], dsts[i], weights[i])
+		} else {
+			b.AddEdge(srcs[i], dsts[i])
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,110 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := MustFromEdges(5, [][2]VertexID{{0, 1}, {0, 4}, {2, 3}, {4, 0}})
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatalf("WriteEdgeList: %v", err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatalf("ReadEdgeList: %v", err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed shape: %v vs %v", g2, g)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		a, b := g.OutNeighbors(VertexID(v)), g2.OutNeighbors(VertexID(v))
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d degree mismatch", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d adjacency mismatch: %v vs %v", v, a, b)
+			}
+		}
+	}
+}
+
+func TestEdgeListRoundTripWeighted(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 2.5)
+	b.AddWeightedEdge(1, 2, 0.125)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g2.HasWeights() {
+		t.Fatal("weights lost in round trip")
+	}
+	if w := g2.OutWeights(0)[0]; w != 2.5 {
+		t.Errorf("weight = %v, want 2.5", w)
+	}
+	if w := g2.OutWeights(1)[0]; w != 0.125 {
+		t.Errorf("weight = %v, want 0.125", w)
+	}
+}
+
+func TestReadEdgeListInfersVertexCount(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 7\n3 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 8 {
+		t.Errorf("NumVertices = %d, want 8", g.NumVertices())
+	}
+}
+
+func TestReadEdgeListIgnoresCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\n# vertices 4\n0 1\n\n# trailing\n2 3\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 || g.NumEdges() != 2 {
+		t.Errorf("got %v, want 4 vertices / 2 edges", g)
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",          // too few fields
+		"0 1 2 3\n",    // too many fields
+		"x 1\n",        // bad source
+		"0 y\n",        // bad destination
+		"0 1 notnum\n", // bad weight
+	}
+	for _, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadEdgeList(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestReadEdgeListMixedWeightDefaults(t *testing.T) {
+	// First edge unweighted, second weighted: first should default to 1.
+	g, err := ReadEdgeList(strings.NewReader("# vertices 3\n0 1\n1 2 4.0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasWeights() {
+		t.Fatal("expected weighted graph")
+	}
+	if w := g.OutWeights(0)[0]; w != 1 {
+		t.Errorf("default weight = %v, want 1", w)
+	}
+}

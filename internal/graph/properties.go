@@ -1,0 +1,332 @@
+package graph
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+)
+
+// DegreeStats summarizes a degree sequence.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+	Median   float64
+	// P90 is the 90th-percentile degree.
+	P90 int
+	// ZeroFraction is the fraction of vertices with degree zero.
+	ZeroFraction float64
+}
+
+// NewDegreeStats computes summary statistics of a degree sequence.
+func NewDegreeStats(degrees []int) DegreeStats {
+	if len(degrees) == 0 {
+		return DegreeStats{}
+	}
+	sorted := make([]int, len(degrees))
+	copy(sorted, degrees)
+	sort.Ints(sorted)
+	var sum int64
+	zeros := 0
+	for _, d := range sorted {
+		sum += int64(d)
+		if d == 0 {
+			zeros++
+		}
+	}
+	n := len(sorted)
+	return DegreeStats{
+		Min:          sorted[0],
+		Max:          sorted[n-1],
+		Mean:         float64(sum) / float64(n),
+		Median:       float64(sorted[n/2]),
+		P90:          sorted[(n*9)/10],
+		ZeroFraction: float64(zeros) / float64(n),
+	}
+}
+
+// PowerLawAlpha estimates the exponent of a discrete power-law degree
+// distribution by maximum likelihood (Clauset/Shalizi/Newman form):
+//
+//	alpha = 1 + n / sum(ln(d_i / (dmin - 0.5)))
+//
+// over degrees d_i >= dmin. It returns 0 if fewer than two vertices have
+// degree >= dmin.
+func PowerLawAlpha(degrees []int, dmin int) float64 {
+	if dmin < 1 {
+		dmin = 1
+	}
+	var sum float64
+	n := 0
+	for _, d := range degrees {
+		if d >= dmin {
+			sum += math.Log(float64(d) / (float64(dmin) - 0.5))
+			n++
+		}
+	}
+	if n < 2 || sum == 0 {
+		return 0
+	}
+	return 1 + float64(n)/sum
+}
+
+// KolmogorovSmirnov computes the two-sample KS D-statistic between two
+// degree sequences: the maximum absolute difference between their empirical
+// CDFs. It is the fidelity measure Leskovec & Faloutsos use to compare a
+// sample's degree distribution against the full graph's.
+func KolmogorovSmirnov(a, b []int) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 1
+	}
+	sa := make([]int, len(a))
+	copy(sa, a)
+	sort.Ints(sa)
+	sb := make([]int, len(b))
+	copy(sb, b)
+	sort.Ints(sb)
+	i, j := 0, 0
+	var d float64
+	for i < len(sa) && j < len(sb) {
+		var x int
+		if sa[i] <= sb[j] {
+			x = sa[i]
+		} else {
+			x = sb[j]
+		}
+		for i < len(sa) && sa[i] <= x {
+			i++
+		}
+		for j < len(sb) && sb[j] <= x {
+			j++
+		}
+		fa := float64(i) / float64(len(sa))
+		fb := float64(j) / float64(len(sb))
+		if diff := math.Abs(fa - fb); diff > d {
+			d = diff
+		}
+	}
+	return d
+}
+
+// EffectiveDiameter estimates the effective diameter of g: the smallest
+// hop count within which at least quantile (e.g. 0.9) of all *reachable*
+// source/destination pairs can reach each other, following out-edges.
+// It runs BFS from at most sources randomly chosen start vertices; pass
+// sources >= NumVertices for the exact value. A seeded rng keeps the
+// estimate deterministic.
+func EffectiveDiameter(g *Graph, quantile float64, sources int, rng *rand.Rand) int {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	if sources > n {
+		sources = n
+	}
+	order := rng.Perm(n)[:sources]
+
+	// hopCounts[h] = number of (src, dst) pairs at BFS distance exactly h.
+	hopCounts := make([]int64, 1, 64)
+	dist := make([]int32, n)
+	queue := make([]VertexID, 0, n)
+	for _, srcIdx := range order {
+		for i := range dist {
+			dist[i] = -1
+		}
+		src := VertexID(srcIdx)
+		dist[src] = 0
+		queue = queue[:0]
+		queue = append(queue, src)
+		hopCounts[0]++
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			dv := dist[v]
+			for _, w := range g.OutNeighbors(v) {
+				if dist[w] < 0 {
+					dist[w] = dv + 1
+					for int(dv)+1 >= len(hopCounts) {
+						hopCounts = append(hopCounts, 0)
+					}
+					hopCounts[dv+1]++
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+
+	var total int64
+	for _, c := range hopCounts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(quantile * float64(total)))
+	var cum int64
+	for h, c := range hopCounts {
+		cum += c
+		if cum >= target {
+			return h
+		}
+	}
+	return len(hopCounts) - 1
+}
+
+// ClusteringCoefficient estimates the mean local clustering coefficient of
+// g treated as a directed graph (a triangle is counted when both (u,v) and
+// (u,w) exist and (v,w) exists). It samples at most samples vertices with
+// degree >= 2; pass samples >= NumVertices for the exact value.
+func ClusteringCoefficient(g *Graph, samples int, rng *rand.Rand) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	order := rng.Perm(n)
+	var sum float64
+	count := 0
+	for _, vi := range order {
+		if count >= samples {
+			break
+		}
+		v := VertexID(vi)
+		adj := g.OutNeighbors(v)
+		if len(adj) < 2 {
+			continue
+		}
+		closed := 0
+		possible := 0
+		for i := 0; i < len(adj); i++ {
+			for j := i + 1; j < len(adj); j++ {
+				possible++
+				if g.HasEdge(adj[i], adj[j]) || g.HasEdge(adj[j], adj[i]) {
+					closed++
+				}
+			}
+		}
+		sum += float64(closed) / float64(possible)
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// WeaklyConnectedComponents labels every vertex with a component ID
+// (0-based, ordered by first appearance) ignoring edge direction, and
+// returns the labels and the number of components.
+func WeaklyConnectedComponents(g *Graph) (labels []int32, numComponents int) {
+	n := g.NumVertices()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for v := 0; v < n; v++ {
+		for _, w := range g.OutNeighbors(VertexID(v)) {
+			union(int32(v), int32(w))
+		}
+	}
+	labels = make([]int32, n)
+	next := int32(0)
+	rename := make(map[int32]int32, 16)
+	for v := 0; v < n; v++ {
+		root := find(int32(v))
+		id, ok := rename[root]
+		if !ok {
+			id = next
+			rename[root] = id
+			next++
+		}
+		labels[v] = id
+	}
+	return labels, int(next)
+}
+
+// LargestComponentFraction reports the fraction of vertices in the largest
+// weakly connected component. Connectivity of samples is a primary
+// sampling-fidelity requirement in the paper (§4.1).
+func LargestComponentFraction(g *Graph) float64 {
+	n := g.NumVertices()
+	if n == 0 {
+		return 0
+	}
+	labels, k := WeaklyConnectedComponents(g)
+	sizes := make([]int, k)
+	for _, l := range labels {
+		sizes[l]++
+	}
+	maxSize := 0
+	for _, s := range sizes {
+		if s > maxSize {
+			maxSize = s
+		}
+	}
+	return float64(maxSize) / float64(n)
+}
+
+// InOutRatioStats computes the mean of per-vertex in/out degree ratios over
+// vertices with non-zero out-degree. The paper's sampling requirements call
+// for the sample to preserve in/out degree proportionality (§4.1).
+func InOutRatioStats(g *Graph) float64 {
+	g.EnsureInEdges()
+	n := g.NumVertices()
+	var sum float64
+	count := 0
+	for v := 0; v < n; v++ {
+		out := g.OutDegree(VertexID(v))
+		if out == 0 {
+			continue
+		}
+		sum += float64(g.InDegree(VertexID(v))) / float64(out)
+		count++
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// Properties bundles the structural measurements reported in Table 2 and
+// used to validate sampling fidelity.
+type Properties struct {
+	NumVertices       int
+	NumEdges          int64
+	AvgOutDegree      float64
+	MaxOutDegree      int
+	EffectiveDiameter int
+	Clustering        float64
+	PowerLawAlpha     float64
+	LargestWCC        float64
+	InOutRatio        float64
+}
+
+// Measure computes the full property bundle using the given number of
+// BFS sources and clustering samples (both bounded by n).
+func Measure(g *Graph, bfsSources, ccSamples int, seed uint64) Properties {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	degs := g.OutDegrees()
+	return Properties{
+		NumVertices:       g.NumVertices(),
+		NumEdges:          g.NumEdges(),
+		AvgOutDegree:      g.AvgOutDegree(),
+		MaxOutDegree:      NewDegreeStats(degs).Max,
+		EffectiveDiameter: EffectiveDiameter(g, 0.9, bfsSources, rng),
+		Clustering:        ClusteringCoefficient(g, ccSamples, rng),
+		PowerLawAlpha:     PowerLawAlpha(degs, 2),
+		LargestWCC:        LargestComponentFraction(g),
+		InOutRatio:        InOutRatioStats(g),
+	}
+}

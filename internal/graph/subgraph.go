@@ -1,0 +1,70 @@
+package graph
+
+import "fmt"
+
+// Mapping relates the vertices of an induced subgraph to the vertices of
+// the graph it was taken from.
+type Mapping struct {
+	// ToOriginal maps a subgraph vertex ID to the original graph vertex ID.
+	ToOriginal []VertexID
+	// toSample maps an original vertex ID to the subgraph vertex ID, or -1
+	// if the vertex was not sampled.
+	toSample []VertexID
+}
+
+// OriginalOf returns the original-graph ID of subgraph vertex v.
+func (m *Mapping) OriginalOf(v VertexID) VertexID { return m.ToOriginal[v] }
+
+// SampleOf returns the subgraph ID of original vertex v and whether v is in
+// the subgraph.
+func (m *Mapping) SampleOf(v VertexID) (VertexID, bool) {
+	s := m.toSample[v]
+	return s, s >= 0
+}
+
+// Len reports the number of sampled vertices.
+func (m *Mapping) Len() int { return len(m.ToOriginal) }
+
+// InducedSubgraph returns the subgraph of g induced by the given vertex
+// set: the vertices are relabeled densely in the order given, and every
+// edge of g with both endpoints in the set is kept (with its weight).
+// Duplicate vertices in the set are rejected.
+func InducedSubgraph(g *Graph, vertices []VertexID) (*Graph, *Mapping, error) {
+	n := g.NumVertices()
+	toSample := make([]VertexID, n)
+	for i := range toSample {
+		toSample[i] = -1
+	}
+	toOriginal := make([]VertexID, len(vertices))
+	for i, v := range vertices {
+		if int(v) < 0 || int(v) >= n {
+			return nil, nil, fmt.Errorf("graph: induced subgraph: vertex %d out of range (n=%d)", v, n)
+		}
+		if toSample[v] != -1 {
+			return nil, nil, fmt.Errorf("graph: induced subgraph: duplicate vertex %d", v)
+		}
+		toSample[v] = VertexID(i)
+		toOriginal[i] = v
+	}
+
+	b := NewBuilder(len(vertices))
+	for i, orig := range toOriginal {
+		ws := g.OutWeights(orig)
+		for j, dst := range g.OutNeighbors(orig) {
+			sd := toSample[dst]
+			if sd < 0 {
+				continue
+			}
+			if ws != nil {
+				b.AddWeightedEdge(VertexID(i), sd, ws[j])
+			} else {
+				b.AddEdge(VertexID(i), sd)
+			}
+		}
+	}
+	sub, err := b.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, &Mapping{ToOriginal: toOriginal, toSample: toSample}, nil
+}

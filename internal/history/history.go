@@ -1,0 +1,164 @@
+// Package history persists profiled runs so later predictions can train
+// their cost models on them. The paper's training methodology (§3.4)
+// assumes exactly this: "measurements of previous runs of the algorithm
+// that were given different datasets as input (if such runs exist) ...
+// Such historical runs are typically available for analytical applications
+// that are executed repetitively over newly arriving data sets."
+//
+// A Store is a JSON-lines file of Records; each Record carries the
+// algorithm name, a dataset label, and the per-iteration feature vectors
+// plus simulated seconds of one run.
+package history
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"predict/internal/algorithms"
+	"predict/internal/costmodel"
+	"predict/internal/features"
+)
+
+// Record is one archived run.
+type Record struct {
+	// Algorithm is the algorithm's Name(); predictions only train on
+	// records of the same algorithm (cost factors are per-algorithm,
+	// §3.4).
+	Algorithm string `json:"algorithm"`
+	// Dataset labels the input (free-form, e.g. "UK2002-sim scale=1").
+	Dataset string `json:"dataset"`
+	// Kind distinguishes "actual" runs from "sample" runs.
+	Kind string `json:"kind"`
+	// FeatureNames fixes the column order of Iterations vectors, guarding
+	// against pool changes between writer and reader versions.
+	FeatureNames []string `json:"feature_names"`
+	// Iterations holds one row per superstep: the feature vector followed
+	// by the simulated seconds.
+	Iterations []IterationRow `json:"iterations"`
+}
+
+// IterationRow is one superstep's features and runtime.
+type IterationRow struct {
+	Features []float64 `json:"features"`
+	Seconds  float64   `json:"seconds"`
+}
+
+// FromRun converts a profiled run into a Record under the given feature
+// mode.
+func FromRun(ri *algorithms.RunInfo, dataset, kind string, mode features.Mode) Record {
+	names := make([]string, len(features.Pool()))
+	for i, n := range features.Pool() {
+		names[i] = string(n)
+	}
+	rec := Record{
+		Algorithm:    ri.Algorithm,
+		Dataset:      dataset,
+		Kind:         kind,
+		FeatureNames: names,
+	}
+	for _, it := range features.FromProfile(ri.Profile, mode) {
+		rec.Iterations = append(rec.Iterations, IterationRow{
+			Features: it.Vector,
+			Seconds:  it.Seconds,
+		})
+	}
+	return rec
+}
+
+// TrainingRun converts a Record back into cost-model training data. It
+// validates the feature schema.
+func (r Record) TrainingRun() (costmodel.TrainingRun, error) {
+	pool := features.Pool()
+	if len(r.FeatureNames) != len(pool) {
+		return costmodel.TrainingRun{}, fmt.Errorf(
+			"history: record %q has %d features, this build expects %d",
+			r.Dataset, len(r.FeatureNames), len(pool))
+	}
+	for i, n := range r.FeatureNames {
+		if n != string(pool[i]) {
+			return costmodel.TrainingRun{}, fmt.Errorf(
+				"history: record %q feature %d is %q, expected %q", r.Dataset, i, n, pool[i])
+		}
+	}
+	tr := costmodel.TrainingRun{Source: r.Kind + " " + r.Dataset}
+	for _, row := range r.Iterations {
+		if len(row.Features) != len(pool) {
+			return costmodel.TrainingRun{}, fmt.Errorf(
+				"history: record %q has a row with %d features", r.Dataset, len(row.Features))
+		}
+		tr.Iters = append(tr.Iters, features.IterationFeatures{
+			Vector:  append(features.Vector(nil), row.Features...),
+			Seconds: row.Seconds,
+		})
+	}
+	return tr, nil
+}
+
+// Write appends records to w as JSON lines.
+func Write(w io.Writer, records ...Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range records {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("history: encoding record %q: %w", r.Dataset, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses all records from a JSON-lines stream.
+func Read(r io.Reader) ([]Record, error) {
+	var out []Record
+	dec := json.NewDecoder(r)
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("history: record %d: %w", len(out), err)
+		}
+		out = append(out, rec)
+	}
+}
+
+// AppendFile appends records to a JSON-lines file, creating it if needed.
+func AppendFile(path string, records ...Record) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return Write(f, records...)
+}
+
+// LoadFile reads all records from a JSON-lines file.
+func LoadFile(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// TrainingRunsFor extracts the training data of every record matching the
+// algorithm name, skipping (and reporting) records from other algorithms.
+func TrainingRunsFor(records []Record, algorithm string) ([]costmodel.TrainingRun, int, error) {
+	var out []costmodel.TrainingRun
+	skipped := 0
+	for _, r := range records {
+		if r.Algorithm != algorithm {
+			skipped++
+			continue
+		}
+		tr, err := r.TrainingRun()
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, tr)
+	}
+	return out, skipped, nil
+}

@@ -1,0 +1,104 @@
+// Package metrics provides the error statistics the paper reports:
+// signed relative error (negative = under-prediction), coefficient of
+// determination R², and aggregate error summaries.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// SignedRelativeError returns (predicted - actual) / actual. Negative
+// values are under-predictions, positive are over-predictions, matching
+// the sign convention of the paper's figures. Returns 0 when both are
+// zero, +Inf when only actual is zero.
+func SignedRelativeError(predicted, actual float64) float64 {
+	if actual == 0 {
+		if predicted == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (predicted - actual) / actual
+}
+
+// AbsRelativeError is |SignedRelativeError|.
+func AbsRelativeError(predicted, actual float64) float64 {
+	return math.Abs(SignedRelativeError(predicted, actual))
+}
+
+// R2 computes the coefficient of determination of predictions against
+// actuals: 1 - SS_res/SS_tot. Returns NaN for fewer than two points and
+// 1 when actuals are constant and matched exactly.
+func R2(predicted, actual []float64) float64 {
+	if len(predicted) != len(actual) {
+		panic(fmt.Sprintf("metrics: R2 length mismatch %d vs %d", len(predicted), len(actual)))
+	}
+	n := len(actual)
+	if n < 2 {
+		return math.NaN()
+	}
+	var mean float64
+	for _, y := range actual {
+		mean += y
+	}
+	mean /= float64(n)
+	var ssRes, ssTot float64
+	for i := range actual {
+		d := actual[i] - predicted[i]
+		ssRes += d * d
+		t := actual[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return math.Inf(-1)
+	}
+	return 1 - ssRes/ssTot
+}
+
+// MAPE is the mean absolute percentage error over paired slices, skipping
+// zero actuals.
+func MAPE(predicted, actual []float64) float64 {
+	if len(predicted) != len(actual) {
+		panic(fmt.Sprintf("metrics: MAPE length mismatch %d vs %d", len(predicted), len(actual)))
+	}
+	var sum float64
+	n := 0
+	for i := range actual {
+		if actual[i] == 0 {
+			continue
+		}
+		sum += math.Abs((predicted[i] - actual[i]) / actual[i])
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// MeanAbs returns the mean of absolute values.
+func MeanAbs(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += math.Abs(x)
+	}
+	return sum / float64(len(xs))
+}
+
+// MaxAbs returns the maximum absolute value.
+func MaxAbs(xs []float64) float64 {
+	var m float64
+	for _, x := range xs {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}

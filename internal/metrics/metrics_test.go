@@ -1,0 +1,89 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSignedRelativeError(t *testing.T) {
+	cases := []struct {
+		pred, actual, want float64
+	}{
+		{110, 100, 0.1},
+		{90, 100, -0.1},
+		{100, 100, 0},
+		{0, 0, 0},
+	}
+	for _, c := range cases {
+		if got := SignedRelativeError(c.pred, c.actual); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("SignedRelativeError(%v, %v) = %v, want %v", c.pred, c.actual, got, c.want)
+		}
+	}
+	if got := SignedRelativeError(5, 0); !math.IsInf(got, 1) {
+		t.Errorf("SignedRelativeError(5, 0) = %v, want +Inf", got)
+	}
+}
+
+func TestAbsRelativeError(t *testing.T) {
+	if got := AbsRelativeError(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("AbsRelativeError = %v, want 0.1", got)
+	}
+}
+
+func TestR2PerfectFit(t *testing.T) {
+	y := []float64{1, 2, 3, 4}
+	if got := R2(y, y); got != 1 {
+		t.Errorf("R2(y, y) = %v, want 1", got)
+	}
+}
+
+func TestR2MeanPredictorIsZero(t *testing.T) {
+	actual := []float64{1, 2, 3, 4, 5}
+	pred := []float64{3, 3, 3, 3, 3}
+	if got := R2(pred, actual); math.Abs(got) > 1e-12 {
+		t.Errorf("R2(mean) = %v, want 0", got)
+	}
+}
+
+func TestR2TooFewPoints(t *testing.T) {
+	if got := R2([]float64{1}, []float64{1}); !math.IsNaN(got) {
+		t.Errorf("R2 single point = %v, want NaN", got)
+	}
+}
+
+func TestR2PanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("R2 with mismatched lengths did not panic")
+		}
+	}()
+	R2([]float64{1}, []float64{1, 2})
+}
+
+func TestMAPE(t *testing.T) {
+	got := MAPE([]float64{110, 90}, []float64{100, 100})
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MAPE = %v, want 0.1", got)
+	}
+	// Zero actuals are skipped.
+	got = MAPE([]float64{110, 5}, []float64{100, 0})
+	if math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("MAPE with zero actual = %v, want 0.1", got)
+	}
+	if got := MAPE(nil, nil); !math.IsNaN(got) {
+		t.Errorf("MAPE(nil) = %v, want NaN", got)
+	}
+}
+
+func TestMeanAbsAndMaxAbs(t *testing.T) {
+	xs := []float64{-1, 2, -3}
+	if got := MeanAbs(xs); got != 2 {
+		t.Errorf("MeanAbs = %v, want 2", got)
+	}
+	if got := MaxAbs(xs); got != 3 {
+		t.Errorf("MaxAbs = %v, want 3", got)
+	}
+	if got := MeanAbs(nil); !math.IsNaN(got) {
+		t.Errorf("MeanAbs(nil) = %v, want NaN", got)
+	}
+}

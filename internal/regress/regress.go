@@ -1,0 +1,251 @@
+// Package regress implements multivariate linear regression by ordinary
+// least squares and the sequential forward feature-selection mechanism the
+// paper's cost-model framework uses (§3.4, after Hastie et al.).
+//
+// The implementation is self-contained: normal equations solved by
+// Gaussian elimination with partial pivoting, with a tiny ridge fallback
+// for singular systems (which arise naturally when a candidate feature is
+// constant across training iterations).
+package regress
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Fit is a fitted linear model y = Intercept + Σ Coef[i] * x[FeatureIdx[i]].
+type Fit struct {
+	// FeatureIdx lists the design-matrix columns the model uses, in
+	// coefficient order. For a plain OLS fit it is 0..k-1.
+	FeatureIdx []int
+	// Coef holds one coefficient per selected feature.
+	Coef []float64
+	// Intercept is the residual term r of the paper's functional form.
+	Intercept float64
+	// R2 and AdjustedR2 measure fit quality on the training data.
+	R2         float64
+	AdjustedR2 float64
+}
+
+// Predict evaluates the model on a full feature vector (all columns, not
+// just the selected ones).
+func (f *Fit) Predict(x []float64) float64 {
+	y := f.Intercept
+	for i, idx := range f.FeatureIdx {
+		y += f.Coef[i] * x[idx]
+	}
+	return y
+}
+
+// ErrInsufficientData reports that there are not enough observations for
+// the requested number of coefficients.
+var ErrInsufficientData = errors.New("regress: insufficient observations")
+
+// OLS fits y = b0 + b·x over all columns of X by least squares.
+func OLS(X [][]float64, y []float64) (*Fit, error) {
+	if len(X) == 0 {
+		return nil, ErrInsufficientData
+	}
+	k := len(X[0])
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	return OLSSubset(X, y, idx)
+}
+
+// OLSSubset fits using only the given columns of X.
+func OLSSubset(X [][]float64, y []float64, cols []int) (*Fit, error) {
+	n := len(X)
+	if n != len(y) {
+		return nil, fmt.Errorf("regress: %d rows vs %d targets", n, len(y))
+	}
+	p := len(cols) + 1 // + intercept
+	if n < p {
+		return nil, fmt.Errorf("%w: %d rows for %d parameters", ErrInsufficientData, n, p)
+	}
+
+	// Build normal equations A b = c with A = D'D, c = D'y where D is the
+	// design matrix [1 | X[:, cols]].
+	A := make([][]float64, p)
+	for i := range A {
+		A[i] = make([]float64, p)
+	}
+	c := make([]float64, p)
+	row := make([]float64, p)
+	for r := 0; r < n; r++ {
+		row[0] = 1
+		for j, col := range cols {
+			row[j+1] = X[r][col]
+		}
+		for i := 0; i < p; i++ {
+			for j := 0; j < p; j++ {
+				A[i][j] += row[i] * row[j]
+			}
+			c[i] += row[i] * y[r]
+		}
+	}
+
+	b, err := solve(A, c)
+	if err != nil {
+		// Singular system (constant/collinear features): retry with a tiny
+		// ridge proportional to the trace.
+		var trace float64
+		for i := 0; i < p; i++ {
+			trace += A[i][i]
+		}
+		ridge := 1e-10*trace/float64(p) + 1e-12
+		for i := 0; i < p; i++ {
+			A[i][i] += ridge
+		}
+		b, err = solve(A, c)
+		if err != nil {
+			return nil, fmt.Errorf("regress: singular normal equations: %w", err)
+		}
+	}
+
+	fit := &Fit{
+		FeatureIdx: append([]int(nil), cols...),
+		Coef:       b[1:],
+		Intercept:  b[0],
+	}
+	fit.R2, fit.AdjustedR2 = rsquared(X, y, fit)
+	return fit, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy of
+// A, returning x with A x = c.
+func solve(A [][]float64, c []float64) ([]float64, error) {
+	p := len(A)
+	// Work on copies.
+	m := make([][]float64, p)
+	for i := range m {
+		m[i] = append([]float64(nil), A[i]...)
+		m[i] = append(m[i], c[i])
+	}
+	for col := 0; col < p; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(m[pivot][col]) < 1e-300 {
+			return nil, errors.New("zero pivot")
+		}
+		m[col], m[pivot] = m[pivot], m[col]
+		for r := col + 1; r < p; r++ {
+			f := m[r][col] / m[col][col]
+			if f == 0 {
+				continue
+			}
+			for j := col; j <= p; j++ {
+				m[r][j] -= f * m[col][j]
+			}
+		}
+	}
+	x := make([]float64, p)
+	for i := p - 1; i >= 0; i-- {
+		sum := m[i][p]
+		for j := i + 1; j < p; j++ {
+			sum -= m[i][j] * x[j]
+		}
+		x[i] = sum / m[i][i]
+	}
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, errors.New("non-finite solution")
+		}
+	}
+	return x, nil
+}
+
+func rsquared(X [][]float64, y []float64, fit *Fit) (r2, adj float64) {
+	n := len(y)
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(n)
+	var ssRes, ssTot float64
+	for i := range y {
+		pred := fit.Predict(X[i])
+		d := y[i] - pred
+		ssRes += d * d
+		t := y[i] - mean
+		ssTot += t * t
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1, 1
+		}
+		return 0, 0
+	}
+	r2 = 1 - ssRes/ssTot
+	p := len(fit.Coef)
+	if n-p-1 > 0 {
+		adj = 1 - (1-r2)*float64(n-1)/float64(n-p-1)
+	} else {
+		adj = r2
+	}
+	return r2, adj
+}
+
+// ForwardSelect performs sequential forward selection: starting from the
+// empty model it repeatedly adds the feature whose inclusion most improves
+// adjusted R², stopping when no candidate improves it by more than a small
+// threshold or maxFeatures is reached (§3.4's "sequential forward
+// selection mechanism").
+func ForwardSelect(X [][]float64, y []float64, maxFeatures int) (*Fit, error) {
+	if len(X) == 0 {
+		return nil, ErrInsufficientData
+	}
+	k := len(X[0])
+	if maxFeatures <= 0 || maxFeatures > k {
+		maxFeatures = k
+	}
+	// Never fit more parameters than observations allow.
+	if cap := len(X) - 2; maxFeatures > cap && cap >= 1 {
+		maxFeatures = cap
+	}
+
+	const minImprovement = 1e-4
+	selected := []int{}
+	used := make([]bool, k)
+	var best *Fit
+
+	// Baseline: intercept-only model.
+	interceptOnly, err := OLSSubset(X, y, nil)
+	if err != nil {
+		return nil, err
+	}
+	best = interceptOnly
+
+	for len(selected) < maxFeatures {
+		var roundBest *Fit
+		roundIdx := -1
+		for col := 0; col < k; col++ {
+			if used[col] {
+				continue
+			}
+			trial := append(append([]int(nil), selected...), col)
+			fit, err := OLSSubset(X, y, trial)
+			if err != nil {
+				continue
+			}
+			if roundBest == nil || fit.AdjustedR2 > roundBest.AdjustedR2 {
+				roundBest = fit
+				roundIdx = col
+			}
+		}
+		if roundBest == nil || roundBest.AdjustedR2 <= best.AdjustedR2+minImprovement {
+			break
+		}
+		best = roundBest
+		selected = append(selected, roundIdx)
+		used[roundIdx] = true
+	}
+	return best, nil
+}

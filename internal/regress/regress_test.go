@@ -1,0 +1,190 @@
+package regress
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestOLSRecoversExactLinearModel(t *testing.T) {
+	// y = 3 + 2*x0 - 0.5*x1, no noise.
+	X := [][]float64{
+		{1, 2}, {2, 1}, {3, 5}, {4, 0}, {5, 3}, {0, 7},
+	}
+	y := make([]float64, len(X))
+	for i, x := range X {
+		y[i] = 3 + 2*x[0] - 0.5*x[1]
+	}
+	fit, err := OLS(X, y)
+	if err != nil {
+		t.Fatalf("OLS: %v", err)
+	}
+	if math.Abs(fit.Intercept-3) > 1e-8 {
+		t.Errorf("Intercept = %v, want 3", fit.Intercept)
+	}
+	if math.Abs(fit.Coef[0]-2) > 1e-8 || math.Abs(fit.Coef[1]+0.5) > 1e-8 {
+		t.Errorf("Coef = %v, want [2 -0.5]", fit.Coef)
+	}
+	if fit.R2 < 0.999999 {
+		t.Errorf("R2 = %v, want ~1", fit.R2)
+	}
+}
+
+func TestOLSWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	n := 200
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x0, x1 := rng.Float64()*10, rng.Float64()*10
+		X[i] = []float64{x0, x1}
+		y[i] = 1 + 4*x0 + 2*x1 + rng.NormFloat64()*0.1
+	}
+	fit, err := OLS(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Coef[0]-4) > 0.05 || math.Abs(fit.Coef[1]-2) > 0.05 {
+		t.Errorf("Coef = %v, want ~[4 2]", fit.Coef)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %v, want > 0.99", fit.R2)
+	}
+}
+
+func TestOLSPredictExtrapolates(t *testing.T) {
+	// The paper's reason for a fixed functional form: predict outside the
+	// training range (train on sample, test on full graph).
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{2, 4, 6, 8}
+	fit, err := OLS(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fit.Predict([]float64{100}); math.Abs(got-200) > 1e-6 {
+		t.Errorf("Predict(100) = %v, want 200", got)
+	}
+}
+
+func TestOLSConstantFeatureDoesNotCrash(t *testing.T) {
+	// A constant column is collinear with the intercept; the ridge
+	// fallback must keep the fit finite.
+	X := [][]float64{{5, 1}, {5, 2}, {5, 3}, {5, 4}}
+	y := []float64{3, 5, 7, 9}
+	fit, err := OLS(X, y)
+	if err != nil {
+		t.Fatalf("OLS with constant feature: %v", err)
+	}
+	if got := fit.Predict([]float64{5, 5}); math.Abs(got-11) > 0.01 {
+		t.Errorf("Predict = %v, want ~11", got)
+	}
+}
+
+func TestOLSInsufficientData(t *testing.T) {
+	X := [][]float64{{1, 2}}
+	y := []float64{1}
+	if _, err := OLS(X, y); err == nil {
+		t.Fatal("1 observation for 3 parameters accepted")
+	}
+	if _, err := OLS(nil, nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestOLSLengthMismatch(t *testing.T) {
+	if _, err := OLS([][]float64{{1}, {2}}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestForwardSelectPicksInformativeFeatures(t *testing.T) {
+	// y depends only on columns 0 and 2; column 1 is noise.
+	rng := rand.New(rand.NewPCG(9, 9))
+	n := 100
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64() * 10}
+		X[i] = x
+		y[i] = 5*x[0] + 3*x[2] + rng.NormFloat64()*0.01
+	}
+	fit, err := ForwardSelect(X, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := map[int]bool{}
+	for _, idx := range fit.FeatureIdx {
+		has[idx] = true
+	}
+	if !has[0] || !has[2] {
+		t.Errorf("selected %v, want to include 0 and 2", fit.FeatureIdx)
+	}
+	if has[1] {
+		t.Errorf("selected noise feature 1: %v", fit.FeatureIdx)
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("R2 = %v, want ~1", fit.R2)
+	}
+}
+
+func TestForwardSelectMaxFeatures(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	n := 60
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64()}
+		X[i] = x
+		y[i] = x[0] + x[1] + x[2] + x[3]
+	}
+	fit, err := ForwardSelect(X, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fit.FeatureIdx) > 2 {
+		t.Errorf("selected %d features, cap was 2", len(fit.FeatureIdx))
+	}
+}
+
+func TestForwardSelectConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{7, 7, 7, 7}
+	fit, err := ForwardSelect(X, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fit.Predict([]float64{10}); math.Abs(got-7) > 0.5 {
+		t.Errorf("Predict = %v, want ~7 (intercept-only)", got)
+	}
+}
+
+func TestPredictUsesOnlySelectedColumns(t *testing.T) {
+	fit := &Fit{FeatureIdx: []int{2}, Coef: []float64{10}, Intercept: 1}
+	if got := fit.Predict([]float64{99, 99, 3}); got != 31 {
+		t.Errorf("Predict = %v, want 31", got)
+	}
+}
+
+func TestOLSPropertyFitNeverWorseThanMean(t *testing.T) {
+	// R² of OLS is >= 0 on training data (never worse than the mean
+	// predictor), for any data where the fit succeeds.
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed+1))
+		n := 10 + int(seed%20)
+		X := make([][]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			X[i] = []float64{rng.Float64() * 100, rng.Float64()}
+			y[i] = rng.Float64() * 50
+		}
+		fit, err := OLS(X, y)
+		if err != nil {
+			return true
+		}
+		return fit.R2 >= -1e-9 && fit.R2 <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+package regress
+
+import (
+	"math"
+	"sort"
+)
+
+// Tree is a CART-style regression tree — the nonlinear model the paper's
+// "Cost Model Extensions" (§3.4) proposes for compute phases that are not
+// linear in the key input features (it cites MART; a single variance-
+// minimizing tree is the building block). Unlike the linear model it
+// cannot extrapolate beyond the training range, which is exactly the
+// trade-off the paper discusses; see costmodel for how the two are
+// combined.
+type Tree struct {
+	root *treeNode
+}
+
+type treeNode struct {
+	// Leaf prediction.
+	value float64
+	// Split definition (leaf when left == nil).
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+}
+
+// TreeOptions bounds tree growth.
+type TreeOptions struct {
+	// MaxDepth bounds recursion; zero selects 4.
+	MaxDepth int
+	// MinLeaf is the minimum observations per leaf; zero selects 3.
+	MinLeaf int
+}
+
+func (o TreeOptions) withDefaults() TreeOptions {
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 4
+	}
+	if o.MinLeaf == 0 {
+		o.MinLeaf = 3
+	}
+	return o
+}
+
+// FitTree grows a regression tree minimizing within-leaf variance.
+func FitTree(X [][]float64, y []float64, opts TreeOptions) (*Tree, error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return nil, ErrInsufficientData
+	}
+	opts = opts.withDefaults()
+	idx := make([]int, len(y))
+	for i := range idx {
+		idx[i] = i
+	}
+	return &Tree{root: growTree(X, y, idx, opts, 0)}, nil
+}
+
+// Predict evaluates the tree on a feature vector.
+func (t *Tree) Predict(x []float64) float64 {
+	n := t.root
+	for n.left != nil {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// R2 computes the coefficient of determination on a dataset.
+func (t *Tree) R2(X [][]float64, y []float64) float64 {
+	var mean float64
+	for _, v := range y {
+		mean += v
+	}
+	mean /= float64(len(y))
+	var ssRes, ssTot float64
+	for i := range y {
+		d := y[i] - t.Predict(X[i])
+		ssRes += d * d
+		m := y[i] - mean
+		ssTot += m * m
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+func growTree(X [][]float64, y []float64, idx []int, opts TreeOptions, depth int) *treeNode {
+	node := &treeNode{value: meanOf(y, idx)}
+	if depth >= opts.MaxDepth || len(idx) < 2*opts.MinLeaf {
+		return node
+	}
+	feature, threshold, ok := bestSplit(X, y, idx, opts.MinLeaf)
+	if !ok {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	node.feature = feature
+	node.threshold = threshold
+	node.left = growTree(X, y, left, opts, depth+1)
+	node.right = growTree(X, y, right, opts, depth+1)
+	return node
+}
+
+func meanOf(y []float64, idx []int) float64 {
+	var sum float64
+	for _, i := range idx {
+		sum += y[i]
+	}
+	return sum / float64(len(idx))
+}
+
+// bestSplit scans every feature for the threshold minimizing the summed
+// squared error of the two children.
+func bestSplit(X [][]float64, y []float64, idx []int, minLeaf int) (feature int, threshold float64, ok bool) {
+	bestSSE := math.Inf(1)
+	k := len(X[idx[0]])
+	order := make([]int, len(idx))
+	for f := 0; f < k; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+
+		// Prefix sums over the sorted order for O(1) SSE at each cut.
+		n := len(order)
+		prefSum := make([]float64, n+1)
+		prefSq := make([]float64, n+1)
+		for i, id := range order {
+			prefSum[i+1] = prefSum[i] + y[id]
+			prefSq[i+1] = prefSq[i] + y[id]*y[id]
+		}
+		for cut := minLeaf; cut <= n-minLeaf; cut++ {
+			// Skip ties: cannot split between equal feature values.
+			if X[order[cut-1]][f] == X[order[cut]][f] {
+				continue
+			}
+			nl, nr := float64(cut), float64(n-cut)
+			sl, sr := prefSum[cut], prefSum[n]-prefSum[cut]
+			ql, qr := prefSq[cut], prefSq[n]-prefSq[cut]
+			sse := (ql - sl*sl/nl) + (qr - sr*sr/nr)
+			if sse < bestSSE {
+				bestSSE = sse
+				feature = f
+				threshold = (X[order[cut-1]][f] + X[order[cut]][f]) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}

@@ -1,0 +1,135 @@
+package regress
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestTreeFitsStepFunction(t *testing.T) {
+	// A step function is the regression tree's home turf and a linear
+	// model's nightmare.
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 100; i++ {
+		x := float64(i)
+		X = append(X, []float64{x})
+		if x < 50 {
+			y = append(y, 1)
+		} else {
+			y = append(y, 10)
+		}
+	}
+	tree, err := FitTree(X, y, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{25}); math.Abs(got-1) > 0.01 {
+		t.Errorf("Predict(25) = %v, want 1", got)
+	}
+	if got := tree.Predict([]float64{75}); math.Abs(got-10) > 0.01 {
+		t.Errorf("Predict(75) = %v, want 10", got)
+	}
+	if r2 := tree.R2(X, y); r2 < 0.99 {
+		t.Errorf("R2 = %v, want ~1", r2)
+	}
+	// The linear model cannot match this.
+	fit, err := OLS(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fit.R2 >= tree.R2(X, y) {
+		t.Errorf("linear R2 %v >= tree R2 %v on a step function", fit.R2, tree.R2(X, y))
+	}
+}
+
+func TestTreePicksInformativeFeature(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		noise := rng.Float64() * 100
+		signal := rng.Float64() * 10
+		X = append(X, []float64{noise, signal})
+		if signal > 5 {
+			y = append(y, 100)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	tree, err := FitTree(X, y, TreeOptions{MaxDepth: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.root.left == nil {
+		t.Fatal("tree did not split")
+	}
+	if tree.root.feature != 1 {
+		t.Errorf("root split on feature %d, want 1 (the signal)", tree.root.feature)
+	}
+}
+
+func TestTreeRespectsMinLeaf(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}}
+	y := []float64{1, 2, 3, 4}
+	tree, err := FitTree(X, y, TreeOptions{MaxDepth: 10, MinLeaf: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With MinLeaf=2 on 4 points, at most one split is possible.
+	if tree.root.left != nil && (tree.root.left.left != nil || tree.root.right.left != nil) {
+		t.Error("tree split below MinLeaf")
+	}
+}
+
+func TestTreeConstantTarget(t *testing.T) {
+	X := [][]float64{{1}, {2}, {3}, {4}, {5}, {6}}
+	y := []float64{7, 7, 7, 7, 7, 7}
+	tree, err := FitTree(X, y, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tree.Predict([]float64{3.5}); got != 7 {
+		t.Errorf("Predict = %v, want 7", got)
+	}
+	if r2 := tree.R2(X, y); r2 != 1 {
+		t.Errorf("R2 on constant = %v, want 1", r2)
+	}
+}
+
+func TestTreeEmptyInput(t *testing.T) {
+	if _, err := FitTree(nil, nil, TreeOptions{}); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := FitTree([][]float64{{1}}, []float64{1, 2}, TreeOptions{}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestTreeCannotExtrapolate(t *testing.T) {
+	// Document the §3.4 trade-off: trees clamp outside the training
+	// range, linear models extrapolate.
+	var X [][]float64
+	var y []float64
+	for i := 1; i <= 50; i++ {
+		X = append(X, []float64{float64(i)})
+		y = append(y, 2*float64(i))
+	}
+	tree, err := FitTree(X, y, TreeOptions{MaxDepth: 6, MinLeaf: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fit, err := OLS(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const far = 1000.0
+	treePred := tree.Predict([]float64{far})
+	linPred := fit.Predict([]float64{far})
+	if math.Abs(linPred-2*far) > 1 {
+		t.Errorf("linear extrapolation = %v, want 2000", linPred)
+	}
+	if treePred > 110 {
+		t.Errorf("tree prediction %v beyond training max 100 — trees should clamp", treePred)
+	}
+}

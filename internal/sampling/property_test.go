@@ -1,0 +1,68 @@
+package sampling
+
+import (
+	"testing"
+	"testing/quick"
+
+	"predict/internal/gen"
+	"predict/internal/graph"
+)
+
+// TestSampleInvariants property-tests every method on random scale-free
+// graphs: exact target size, no duplicates, valid induced subgraph,
+// consistent ratios.
+func TestSampleInvariants(t *testing.T) {
+	methods := []Method{RandomJump, BiasedRandomJump, MetropolisHastings, UniformVertex}
+	f := func(seed uint64, ratioRaw uint8, mIdx uint8) bool {
+		g := gen.BarabasiAlbert(800, 4, 0.4, seed%16) // few distinct graphs, cached by BA determinism
+		ratio := 0.02 + float64(ratioRaw%80)/100.0
+		method := methods[int(mIdx)%len(methods)]
+		r, err := Sample(g, method, Options{Ratio: ratio, Seed: seed})
+		if err != nil {
+			return false
+		}
+		target := int(float64(g.NumVertices())*ratio + 0.5)
+		if target < 1 {
+			target = 1
+		}
+		if len(r.Vertices) != target {
+			return false
+		}
+		seen := make(map[graph.VertexID]bool, len(r.Vertices))
+		for _, v := range r.Vertices {
+			if seen[v] || int(v) >= g.NumVertices() {
+				return false
+			}
+			seen[v] = true
+		}
+		if r.Graph.NumVertices() != target {
+			return false
+		}
+		wantVR := float64(target) / float64(g.NumVertices())
+		if r.VertexRatio < wantVR-1e-9 || r.VertexRatio > wantVR+1e-9 {
+			return false
+		}
+		return r.EdgeRatio >= 0 && r.EdgeRatio <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSampleEdgeRatioMonotoneInVertexRatio: on average, sampling more
+// vertices keeps at least as many edges. Checked on fixed seeds to stay
+// deterministic.
+func TestSampleEdgeRatioMonotone(t *testing.T) {
+	g := gen.BarabasiAlbert(3000, 6, 0.4, 5)
+	prev := -1.0
+	for _, ratio := range []float64{0.05, 0.1, 0.2, 0.4, 0.8} {
+		r, err := Sample(g, BiasedRandomJump, Options{Ratio: ratio, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.EdgeRatio < prev {
+			t.Errorf("edge ratio decreased: %v -> %v at vertex ratio %v", prev, r.EdgeRatio, ratio)
+		}
+		prev = r.EdgeRatio
+	}
+}

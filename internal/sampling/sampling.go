@@ -1,0 +1,299 @@
+// Package sampling implements the graph-sampling techniques PREDIcT uses
+// to construct sample runs (§3.2.1, §5.3): Random Jump (RJ), Biased Random
+// Jump (BRJ, the paper's default, biased towards high out-degree hubs) and
+// Metropolis–Hastings Random Walk (MHRW), plus a uniform vertex sampler as
+// an ablation baseline.
+//
+// All methods return the subgraph induced by the visited vertex set,
+// together with the vertex mapping and the achieved vertex/edge ratios
+// that drive feature extrapolation.
+package sampling
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"predict/internal/graph"
+)
+
+// Method selects a sampling technique.
+type Method string
+
+// Supported sampling methods.
+const (
+	// RandomJump performs random walks with uniform restarts (Leskovec &
+	// Faloutsos). It cannot get stuck in isolated regions.
+	RandomJump Method = "RJ"
+	// BiasedRandomJump is RJ with walk restarts drawn from the top
+	// out-degree hub vertices ("the core of the network"). It is the
+	// paper's default method.
+	BiasedRandomJump Method = "BRJ"
+	// MetropolisHastings removes the degree bias inherent in random walks
+	// by rejecting moves to higher-degree vertices probabilistically.
+	MetropolisHastings Method = "MHRW"
+	// UniformVertex ignores structure entirely: vertices are chosen
+	// uniformly at random. Used as an ablation baseline; it destroys
+	// connectivity on sparse graphs.
+	UniformVertex Method = "UNI"
+)
+
+// Methods lists the techniques compared in the paper's Figure 9.
+func Methods() []Method {
+	return []Method{BiasedRandomJump, RandomJump, MetropolisHastings}
+}
+
+// Options parameterizes a sampling run.
+type Options struct {
+	// Ratio is the target fraction of vertices to sample, in (0, 1].
+	Ratio float64
+	// RestartProb is the walk restart probability; the paper uses 0.15.
+	// Zero selects the default.
+	RestartProb float64
+	// SeedFraction is the fraction of the highest out-degree vertices used
+	// as BRJ restart seeds; the paper uses 0.01 (k = 1% of vertices).
+	// Zero selects the default.
+	SeedFraction float64
+	// Seed drives all randomness; equal seeds give identical samples.
+	Seed uint64
+	// MaxStepFactor bounds the walk length at MaxStepFactor * target
+	// vertices before falling back to uniform fill; zero selects 400.
+	MaxStepFactor int
+}
+
+func (o Options) withDefaults() Options {
+	if o.RestartProb == 0 {
+		o.RestartProb = 0.15
+	}
+	if o.SeedFraction == 0 {
+		o.SeedFraction = 0.01
+	}
+	if o.MaxStepFactor == 0 {
+		o.MaxStepFactor = 400
+	}
+	return o
+}
+
+// Result is a sample: the induced subgraph, the vertex mapping back to the
+// original graph, and the achieved ratios.
+type Result struct {
+	Method   Method
+	Vertices []graph.VertexID // original-graph IDs in visit order
+	Graph    *graph.Graph     // subgraph induced by Vertices
+	Mapping  *graph.Mapping
+	// VertexRatio is |V_S| / |V_G|; EdgeRatio is |E_S| / |E_G|. The
+	// extrapolator scales vertex-driven features by 1/VertexRatio and
+	// edge-driven features by 1/EdgeRatio (§3.4).
+	VertexRatio float64
+	EdgeRatio   float64
+}
+
+// Sample draws a sample of g using the given method.
+func Sample(g *graph.Graph, method Method, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n := g.NumVertices()
+	if n == 0 {
+		return nil, fmt.Errorf("sampling: empty graph")
+	}
+	if opts.Ratio <= 0 || opts.Ratio > 1 {
+		return nil, fmt.Errorf("sampling: ratio %v out of (0, 1]", opts.Ratio)
+	}
+	target := int(float64(n)*opts.Ratio + 0.5)
+	if target < 1 {
+		target = 1
+	}
+	if target > n {
+		target = n
+	}
+	rng := rand.New(rand.NewPCG(opts.Seed, opts.Seed^0x6a09e667f3bcc909))
+
+	var visited []graph.VertexID
+	switch method {
+	case RandomJump:
+		visited = walkSample(g, target, opts, rng, nil)
+	case BiasedRandomJump:
+		visited = walkSample(g, target, opts, rng, topOutDegreeSeeds(g, opts.SeedFraction))
+	case MetropolisHastings:
+		visited = mhrwSample(g, target, opts, rng)
+	case UniformVertex:
+		visited = uniformSample(n, target, rng)
+	default:
+		return nil, fmt.Errorf("sampling: unknown method %q", method)
+	}
+
+	sub, mapping, err := graph.InducedSubgraph(g, visited)
+	if err != nil {
+		return nil, fmt.Errorf("sampling: inducing subgraph: %w", err)
+	}
+	res := &Result{
+		Method:      method,
+		Vertices:    visited,
+		Graph:       sub,
+		Mapping:     mapping,
+		VertexRatio: float64(len(visited)) / float64(n),
+	}
+	if ge := g.NumEdges(); ge > 0 {
+		res.EdgeRatio = float64(sub.NumEdges()) / float64(ge)
+	}
+	return res, nil
+}
+
+// topOutDegreeSeeds returns the ceil(fraction*n) vertices with the highest
+// out-degrees, ties broken by vertex ID for determinism.
+func topOutDegreeSeeds(g *graph.Graph, fraction float64) []graph.VertexID {
+	n := g.NumVertices()
+	k := int(float64(n)*fraction + 0.5)
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	ids := make([]graph.VertexID, n)
+	for i := range ids {
+		ids[i] = graph.VertexID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := g.OutDegree(ids[i]), g.OutDegree(ids[j])
+		if di != dj {
+			return di > dj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids[:k]
+}
+
+// walkSample runs random walks with restarts until target distinct vertices
+// are visited. If seeds is nil, restarts are uniform over all vertices
+// (RJ); otherwise restarts are uniform over seeds (BRJ).
+func walkSample(g *graph.Graph, target int, opts Options, rng *rand.Rand, seeds []graph.VertexID) []graph.VertexID {
+	n := g.NumVertices()
+	inSample := make([]bool, n)
+	visited := make([]graph.VertexID, 0, target)
+	add := func(v graph.VertexID) {
+		if !inSample[v] {
+			inSample[v] = true
+			visited = append(visited, v)
+		}
+	}
+	restart := func() graph.VertexID {
+		if seeds != nil {
+			return seeds[rng.IntN(len(seeds))]
+		}
+		return graph.VertexID(rng.IntN(n))
+	}
+
+	cur := restart()
+	add(cur)
+	maxSteps := opts.MaxStepFactor * target
+	for steps := 0; len(visited) < target && steps < maxSteps; steps++ {
+		adj := g.OutNeighbors(cur)
+		if len(adj) == 0 || rng.Float64() < opts.RestartProb {
+			cur = restart()
+		} else {
+			cur = adj[rng.IntN(len(adj))]
+		}
+		add(cur)
+	}
+	fillUniform(inSample, &visited, target, rng)
+	return visited
+}
+
+// mhrwSample runs a Metropolis–Hastings random walk whose stationary
+// distribution is uniform over vertices: a proposed move from v to w is
+// accepted with probability min(1, deg(v)/deg(w)). Restarts use the same
+// probability as RJ so the walk cannot stall in a sink region.
+func mhrwSample(g *graph.Graph, target int, opts Options, rng *rand.Rand) []graph.VertexID {
+	n := g.NumVertices()
+	inSample := make([]bool, n)
+	visited := make([]graph.VertexID, 0, target)
+	add := func(v graph.VertexID) {
+		if !inSample[v] {
+			inSample[v] = true
+			visited = append(visited, v)
+		}
+	}
+	cur := graph.VertexID(rng.IntN(n))
+	add(cur)
+	maxSteps := opts.MaxStepFactor * target
+	for steps := 0; len(visited) < target && steps < maxSteps; steps++ {
+		adj := g.OutNeighbors(cur)
+		if len(adj) == 0 || rng.Float64() < opts.RestartProb {
+			cur = graph.VertexID(rng.IntN(n))
+			add(cur)
+			continue
+		}
+		proposal := adj[rng.IntN(len(adj))]
+		dv, dw := g.OutDegree(cur), g.OutDegree(proposal)
+		if dw == 0 {
+			// Accepting would strand the walk; treat as rejection.
+			continue
+		}
+		if rng.Float64() < float64(dv)/float64(dw) {
+			cur = proposal
+			add(cur)
+		}
+	}
+	fillUniform(inSample, &visited, target, rng)
+	return visited
+}
+
+// uniformSample picks target vertices uniformly without replacement.
+func uniformSample(n, target int, rng *rand.Rand) []graph.VertexID {
+	perm := rng.Perm(n)
+	visited := make([]graph.VertexID, target)
+	for i := 0; i < target; i++ {
+		visited[i] = graph.VertexID(perm[i])
+	}
+	return visited
+}
+
+// fillUniform tops up a sample to the target size with uniformly chosen
+// unvisited vertices; reached only when walks exhaust their step budget on
+// pathological graphs.
+func fillUniform(inSample []bool, visited *[]graph.VertexID, target int, rng *rand.Rand) {
+	if len(*visited) >= target {
+		return
+	}
+	n := len(inSample)
+	perm := rng.Perm(n)
+	for _, vi := range perm {
+		if len(*visited) >= target {
+			return
+		}
+		if !inSample[vi] {
+			inSample[vi] = true
+			*visited = append(*visited, graph.VertexID(vi))
+		}
+	}
+}
+
+// Fidelity quantifies how well a sample preserves the key graph properties
+// the paper's sampling requirements call for (§4.1): degree-distribution
+// closeness (KS D-statistic, as in Leskovec & Faloutsos Table 1),
+// connectivity, and in/out degree proportionality.
+type Fidelity struct {
+	// DStatOut is the KS distance between sample and graph out-degree
+	// distributions (0 = identical).
+	DStatOut float64
+	// DStatIn is the same for in-degrees.
+	DStatIn float64
+	// ConnectivitySample/ConnectivityGraph are the largest-WCC fractions.
+	ConnectivitySample float64
+	ConnectivityGraph  float64
+	// InOutRatioSample/Graph are the mean per-vertex in/out degree ratios.
+	InOutRatioSample float64
+	InOutRatioGraph  float64
+}
+
+// MeasureFidelity computes sample-vs-graph fidelity metrics.
+func MeasureFidelity(g *graph.Graph, r *Result) Fidelity {
+	return Fidelity{
+		DStatOut:           graph.KolmogorovSmirnov(r.Graph.OutDegrees(), g.OutDegrees()),
+		DStatIn:            graph.KolmogorovSmirnov(r.Graph.InDegrees(), g.InDegrees()),
+		ConnectivitySample: graph.LargestComponentFraction(r.Graph),
+		ConnectivityGraph:  graph.LargestComponentFraction(g),
+		InOutRatioSample:   graph.InOutRatioStats(r.Graph),
+		InOutRatioGraph:    graph.InOutRatioStats(g),
+	}
+}

@@ -1,0 +1,116 @@
+package predict_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"predict"
+)
+
+func TestFacadeDatasets(t *testing.T) {
+	ds := predict.Datasets()
+	if len(ds) != 4 {
+		t.Fatalf("Datasets() = %d entries, want 4", len(ds))
+	}
+	wiki := predict.Dataset("Wiki")
+	g := wiki.Generate(0.02, 1)
+	if g.NumVertices() == 0 || g.NumEdges() == 0 {
+		t.Fatal("Wiki stand-in generated empty graph")
+	}
+}
+
+func TestFacadeDatasetPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dataset(bogus) did not panic")
+		}
+	}()
+	predict.Dataset("bogus")
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	g := predict.Dataset("Wiki").Generate(0.05, 3)
+	pr := predict.NewPageRank()
+	pr.Tau = predict.PageRankTau(0.001, g.NumVertices())
+
+	cfg := predict.DefaultCluster()
+	cfg.Workers = 4
+	p := predict.NewPredictor(predict.Options{
+		Sampling:       predict.SamplingOptions{Ratio: 0.15, Seed: 5},
+		BSP:            cfg,
+		TrainingRatios: []float64{0.1, 0.2},
+	})
+	pred, err := p.Predict(pr, g)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if pred.Iterations < 2 {
+		t.Errorf("Iterations = %d, want >= 2", pred.Iterations)
+	}
+	if pred.SuperstepSeconds <= 0 {
+		t.Errorf("SuperstepSeconds = %v, want > 0", pred.SuperstepSeconds)
+	}
+
+	actual, err := pr.Run(g, cfg)
+	if err != nil {
+		t.Fatalf("actual run: %v", err)
+	}
+	ev := predict.Evaluate(pred, actual)
+	if ev.ActualIterations == 0 || ev.ActualSeconds == 0 {
+		t.Errorf("evaluation missing actuals: %+v", ev)
+	}
+
+	report := predict.FormatPrediction(pred)
+	for _, want := range []string{"PageRank", "iterations", "R2", "sample"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("FormatPrediction missing %q:\n%s", want, report)
+		}
+	}
+}
+
+func TestFacadeGraphRoundTrip(t *testing.T) {
+	b := predict.NewGraphBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := predict.WriteGraph(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := predict.ReadGraph(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 2 {
+		t.Errorf("round trip edges = %d, want 2", g2.NumEdges())
+	}
+}
+
+func TestFacadeAlgorithmByName(t *testing.T) {
+	for _, name := range []string{"PR", "SC", "TOPK", "CC", "NH"} {
+		if _, err := predict.AlgorithmByName(name); err != nil {
+			t.Errorf("AlgorithmByName(%s): %v", name, err)
+		}
+	}
+}
+
+func TestFacadeSample(t *testing.T) {
+	g := predict.Dataset("TW").Generate(0.02, 9)
+	s, err := predict.Sample(g, predict.BiasedRandomJump, predict.SamplingOptions{Ratio: 0.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Graph.NumVertices() == 0 {
+		t.Error("empty sample")
+	}
+}
+
+func TestFacadeBoundMatchesPaper(t *testing.T) {
+	if got := predict.PageRankIterationBound(0.001, 0.85); got < 42 || got > 43 {
+		t.Errorf("bound = %d, want 42-43", got)
+	}
+}
