@@ -1,0 +1,113 @@
+// Command predictd serves PREDIcT predictions over HTTP: graphs are
+// loaded once, fitted cost models are cached (LRU-bounded) and reused
+// across requests, and the cache optionally persists through a history
+// file so restarts skip the expensive sample-run pipeline.
+//
+// Usage:
+//
+//	predictd -addr :8080
+//	predictd -addr :8080 -history models.jsonl      # warm + persist cache
+//	predictd -max-models 128 -timeout 120s -workers 16
+//
+// API (JSON):
+//
+//	POST /predict        {"dataset":"Wiki","algorithm":"PR","ratio":0.1}
+//	POST /predict/batch  {"requests":[{...},{...}]}
+//	GET  /models
+//	GET  /healthz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"predict/internal/bsp"
+	"predict/internal/cluster"
+	"predict/internal/service"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		maxModels = flag.Int("max-models", 64, "LRU bound on cached cost models")
+		maxGraphs = flag.Int("max-graphs", 8, "LRU bound on cached dataset graphs")
+		timeout   = flag.Duration("timeout", 60*time.Second, "default per-request timeout")
+		maxBatch  = flag.Int("max-batch", 256, "maximum requests per batch call")
+		workers   = flag.Int("workers", 0, "sample-cluster BSP workers (0 = default 8)")
+		seed      = flag.Uint64("seed", 0, "cost-oracle noise seed")
+		histFile  = flag.String("history", "", "JSON-lines file: warm the model cache at startup, persist it at shutdown")
+	)
+	flag.Parse()
+
+	oracle := cluster.DefaultOracle()
+	svc := service.New(service.Config{
+		MaxModels:      *maxModels,
+		MaxGraphs:      *maxGraphs,
+		DefaultTimeout: *timeout,
+		MaxBatch:       *maxBatch,
+		Cluster:        bsp.Config{Workers: *workers, Seed: *seed, Oracle: &oracle},
+	})
+
+	// persistPath is where the cache snapshot lands at shutdown. If the
+	// warm-up could not read the whole file, overwriting it would destroy
+	// the records that failed to load — divert to a sibling file instead
+	// and leave the original for inspection.
+	persistPath := *histFile
+	if *histFile != "" {
+		warmed, skipped, err := svc.WarmFromHistory(*histFile)
+		switch {
+		case err != nil:
+			persistPath = *histFile + ".recovered"
+			log.Printf("predictd: warming from %s: %v; will persist to %s to preserve the original",
+				*histFile, err, persistPath)
+		case skipped > 0:
+			persistPath = *histFile + ".recovered"
+			log.Printf("predictd: warmed %d model(s), skipped %d unreadable record(s); will persist to %s to preserve the original",
+				warmed, skipped, persistPath)
+		case warmed > 0:
+			log.Printf("predictd: warmed %d model(s) from %s", warmed, *histFile)
+		}
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// Serve until SIGINT/SIGTERM, then drain and persist the cache.
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("predictd: listening on %s", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("predictd: %v", err)
+	case sig := <-sigc:
+		log.Printf("predictd: %s: shutting down", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("predictd: shutdown: %v", err)
+	}
+	if persistPath != "" {
+		if n, err := svc.SaveHistory(persistPath); err != nil {
+			log.Printf("predictd: persisting cache: %v", err)
+		} else {
+			fmt.Printf("predictd: persisted %d model(s) to %s\n", n, persistPath)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module predict
+
+go 1.24

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+
+	"predict/internal/algorithms"
+	"predict/internal/bsp"
+	"predict/internal/costmodel"
+	"predict/internal/features"
+	"predict/internal/graph"
+	"predict/internal/sampling"
+)
+
+// Fitted is the reusable product of the expensive half of the pipeline:
+// the profiled sample runs and the cost model fitted on them (steps 1–5 of
+// Figure 1). A Fitted is independent of the extrapolation target, so a
+// prediction service can cache it and answer repeated or what-if queries
+// by re-running only Extrapolate — the cheap half — against a full graph
+// and a (possibly hypothetical) worker count.
+type Fitted struct {
+	// Algorithm is the fitted algorithm's Name().
+	Algorithm string
+	// Iterations is the sample run's superstep count, which the transform
+	// function preserves at full scale.
+	Iterations int
+	// Model is the fitted per-iteration cost model.
+	Model *costmodel.Model
+	// IterFeatures holds the sample run's per-iteration feature vectors,
+	// mode-reduced at sample scale — the vectors Extrapolate scales up.
+	IterFeatures []features.IterationFeatures
+	// RemoteBytesPerIter holds the sample run's raw (ModeTotals) remote
+	// message bytes per iteration, extrapolated by eE for the Figure 6
+	// remote-bytes prediction.
+	RemoteBytesPerIter []float64
+	// SampleVertices/SampleEdges are the sample graph's size, the
+	// denominators of the extrapolation factors eV and eE.
+	SampleVertices int
+	SampleEdges    int64
+	// SampleVertexRatio/SampleEdgeRatio are the achieved sampling ratios.
+	SampleVertexRatio float64
+	SampleEdgeRatio   float64
+	// SampleCriticalShare is the structural critical-path share
+	// bsp.CriticalShareOf(sample graph, SampleWorkers): the denominator of
+	// the share-rescaling factor of §3.4.
+	SampleCriticalShare float64
+	// ProfiledCriticalShare is the profiled critical share of the sample
+	// run (reported on Prediction for diagnostics).
+	ProfiledCriticalShare float64
+	// SampleRunSeconds is the simulated end-to-end cost of the main sample
+	// run — the planning overhead of Table 3, paid once per Fitted.
+	SampleRunSeconds float64
+	// SampleWorkers is the resolved worker count of the sample cluster.
+	// Per the paper's assumption iii the sample and actual environments
+	// match; Extrapolate defaults to this count.
+	SampleWorkers int
+	// Mode is the feature-reduction mode the model was trained under.
+	Mode features.Mode
+	// VerticesOnly records the eV-only extrapolation ablation.
+	VerticesOnly bool
+	// TrainingRows is the flattened training matrix the model was fitted
+	// on (history + main sample run + additional-ratio runs), kept so the
+	// model can be refitted bit-identically after persistence.
+	TrainingRows []features.IterationFeatures
+	// CostModel records the training options, for faithful refits.
+	CostModel costmodel.Options
+
+	// Sample and SampleRun carry the raw sampling and profiling artifacts
+	// when the Fitted was produced in-process by Fit. They are nil on a
+	// Fitted rebuilt from a persisted record; Extrapolate does not need
+	// them.
+	Sample    *sampling.Result
+	SampleRun *algorithms.RunInfo
+}
+
+// Fit runs the expensive half of the pipeline for alg on g: sample the
+// graph, profile the transformed sample run (plus one run per additional
+// training ratio), and fit the cost model. The result can be cached and
+// extrapolated many times.
+func (p *Predictor) Fit(alg algorithms.Algorithm, g *graph.Graph) (*Fitted, error) {
+	// 1. Sample run input: structure-preserving sample of g.
+	sample, err := sampling.Sample(g, p.opts.Method, p.opts.Sampling)
+	if err != nil {
+		return nil, fmt.Errorf("core: sampling: %w", err)
+	}
+
+	// 2. Transform function: adjust convergence parameters to the sample.
+	runAlg := alg
+	if !p.opts.DisableTransform {
+		runAlg = alg.Transformed(sample.VertexRatio)
+	}
+
+	// 3. Sample run with feature profiling.
+	sampleRun, err := runAlg.Run(sample.Graph, p.opts.BSP)
+	if err != nil {
+		return nil, fmt.Errorf("core: sample run: %w", err)
+	}
+
+	// 4. Cost model: train on the sample run, any additional-ratio sample
+	// runs, and any history.
+	iterFeats := features.FromProfile(sampleRun.Profile, p.opts.Mode)
+	training := append(append([]costmodel.TrainingRun(nil), p.opts.History...),
+		costmodel.TrainingRun{Source: "sample", Iters: iterFeats})
+	extra, err := p.trainingSampleRuns(alg, g)
+	if err != nil {
+		return nil, err
+	}
+	training = append(training, extra...)
+	model, err := costmodel.Train(training, p.opts.CostModel)
+	if err != nil {
+		return nil, fmt.Errorf("core: training cost model: %w", err)
+	}
+
+	workers := p.opts.BSP.Workers
+	if workers == 0 {
+		workers = bsp.DefaultWorkers
+	}
+	f := &Fitted{
+		Algorithm:             alg.Name(),
+		Iterations:            sampleRun.Iterations,
+		Model:                 model,
+		IterFeatures:          iterFeats,
+		SampleVertices:        sample.Graph.NumVertices(),
+		SampleEdges:           sample.Graph.NumEdges(),
+		SampleVertexRatio:     sample.VertexRatio,
+		SampleEdgeRatio:       sample.EdgeRatio,
+		SampleCriticalShare:   bsp.CriticalShareOf(sample.Graph, workers),
+		ProfiledCriticalShare: sampleRun.Profile.CriticalShare(),
+		SampleRunSeconds:      sampleRun.Profile.TotalSeconds(),
+		SampleWorkers:         workers,
+		Mode:                  p.opts.Mode,
+		VerticesOnly:          p.opts.ExtrapolateVerticesOnly,
+		CostModel:             p.opts.CostModel,
+		Sample:                sample,
+		SampleRun:             sampleRun,
+	}
+	for _, tr := range training {
+		f.TrainingRows = append(f.TrainingRows, tr.Iters...)
+	}
+	for i := range sampleRun.Profile.Supersteps {
+		f.RemoteBytesPerIter = append(f.RemoteBytesPerIter,
+			float64(sampleRun.Profile.Supersteps[i].Total().RemoteMessageBytes))
+	}
+	return f, nil
+}
+
+// Extrapolate runs the cheap half of the pipeline: scale the fitted sample
+// features to g and translate them into per-iteration runtime through the
+// cached cost model. workers is the what-if cluster size of the target
+// run; zero selects the sample cluster's size (the paper's assumption iii
+// setting). A non-default workers answers capacity-planning questions —
+// the cost model's per-unit rates are hardware properties, so only the
+// critical-path share moves — at the cost of stepping outside the paper's
+// matched-environment assumption.
+func (f *Fitted) Extrapolate(g *graph.Graph, workers int) (*Prediction, error) {
+	if workers <= 0 {
+		workers = f.SampleWorkers
+	}
+
+	// Extrapolation factors from full-graph and sample sizes.
+	scale, err := features.NewScale(g.NumVertices(), f.SampleVertices,
+		g.NumEdges(), f.SampleEdges)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if f.VerticesOnly {
+		scale = scale.VerticesOnly()
+	}
+
+	// Critical-path adjustment: move vectors from the sample graph's
+	// critical share to the full graph's (both known before execution).
+	// Both shares are computed on the *input* graphs so they stay
+	// consistent for algorithms that internally symmetrize (the
+	// symmetrization distorts both shares equally, so the ratio holds).
+	shareFactor := 1.0
+	shareG := bsp.CriticalShareOf(g, workers)
+	if f.Mode == features.ModeCriticalShare && f.SampleCriticalShare > 0 && shareG > 0 {
+		shareFactor = shareG / f.SampleCriticalShare
+	}
+
+	// Per-iteration prediction on extrapolated features.
+	pred := &Prediction{
+		Algorithm:           f.Algorithm,
+		Iterations:          f.Iterations,
+		Model:               f.Model,
+		Scale:               scale,
+		Sample:              f.Sample,
+		SampleRun:           f.SampleRun,
+		SampleRunSeconds:    f.SampleRunSeconds,
+		CriticalShareSample: f.ProfiledCriticalShare,
+		CriticalShareFull:   shareG,
+	}
+	for i, it := range f.IterFeatures {
+		x := scale.Apply(it.Vector).RescaleShare(shareFactor)
+		secs := f.Model.PredictIteration(x)
+		pred.PerIterationSeconds = append(pred.PerIterationSeconds, secs)
+		pred.SuperstepSeconds += secs
+		if i < len(f.RemoteBytesPerIter) {
+			pred.PredictedRemoteMessageBytes += f.RemoteBytesPerIter[i] * scale.EE
+		}
+	}
+	return pred, nil
+}

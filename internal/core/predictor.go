@@ -96,90 +96,16 @@ type Prediction struct {
 	CriticalShareFull   float64
 }
 
-// Predict runs the full pipeline for alg on g.
+// Predict runs the full pipeline for alg on g: the expensive half (Fit:
+// sample, profile, train) followed by the cheap half (Extrapolate: scale
+// features to g and price them). Callers that issue repeated or what-if
+// queries should hold on to Fit's result and call Extrapolate directly.
 func (p *Predictor) Predict(alg algorithms.Algorithm, g *graph.Graph) (*Prediction, error) {
-	// 1. Sample run input: structure-preserving sample of g.
-	sample, err := sampling.Sample(g, p.opts.Method, p.opts.Sampling)
-	if err != nil {
-		return nil, fmt.Errorf("core: sampling: %w", err)
-	}
-
-	// 2. Transform function: adjust convergence parameters to the sample.
-	runAlg := alg
-	if !p.opts.DisableTransform {
-		runAlg = alg.Transformed(sample.VertexRatio)
-	}
-
-	// 3. Sample run with feature profiling.
-	sampleRun, err := runAlg.Run(sample.Graph, p.opts.BSP)
-	if err != nil {
-		return nil, fmt.Errorf("core: sample run: %w", err)
-	}
-
-	// 4. Extrapolation factors from achieved sample size.
-	scale, err := features.NewScale(g.NumVertices(), sample.Graph.NumVertices(),
-		g.NumEdges(), sample.Graph.NumEdges())
-	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	if p.opts.ExtrapolateVerticesOnly {
-		scale = scale.VerticesOnly()
-	}
-
-	// 5. Cost model: train on the sample run, any additional-ratio sample
-	// runs, and any history.
-	iterFeats := features.FromProfile(sampleRun.Profile, p.opts.Mode)
-	training := append(append([]costmodel.TrainingRun(nil), p.opts.History...),
-		costmodel.TrainingRun{Source: "sample", Iters: iterFeats})
-	extra, err := p.trainingSampleRuns(alg, g)
+	fitted, err := p.Fit(alg, g)
 	if err != nil {
 		return nil, err
 	}
-	training = append(training, extra...)
-	model, err := costmodel.Train(training, p.opts.CostModel)
-	if err != nil {
-		return nil, fmt.Errorf("core: training cost model: %w", err)
-	}
-
-	// 6. Critical-path adjustment: move vectors from the sample graph's
-	// critical share to the full graph's (both known before execution).
-	// Both shares are computed on the *input* graphs so they stay
-	// consistent for algorithms that internally symmetrize (the
-	// symmetrization distorts both shares equally, so the ratio holds).
-	workers := p.opts.BSP.Workers
-	if workers == 0 {
-		workers = bsp.DefaultWorkers
-	}
-	shareFactor := 1.0
-	if p.opts.Mode == features.ModeCriticalShare {
-		shareS := bsp.CriticalShareOf(sample.Graph, workers)
-		shareG := bsp.CriticalShareOf(g, workers)
-		if shareS > 0 && shareG > 0 {
-			shareFactor = shareG / shareS
-		}
-	}
-
-	// 7. Per-iteration prediction on extrapolated features.
-	pred := &Prediction{
-		Algorithm:           alg.Name(),
-		Iterations:          sampleRun.Iterations,
-		Model:               model,
-		Scale:               scale,
-		Sample:              sample,
-		SampleRun:           sampleRun,
-		SampleRunSeconds:    sampleRun.Profile.TotalSeconds(),
-		CriticalShareSample: sampleRun.Profile.CriticalShare(),
-		CriticalShareFull:   bsp.CriticalShareOf(g, workers),
-	}
-	totals := features.FromProfile(sampleRun.Profile, features.ModeTotals)
-	for i, it := range iterFeats {
-		x := scale.Apply(it.Vector).RescaleShare(shareFactor)
-		secs := model.PredictIteration(x)
-		pred.PerIterationSeconds = append(pred.PerIterationSeconds, secs)
-		pred.SuperstepSeconds += secs
-		pred.PredictedRemoteMessageBytes += totals[i].Vector.Get(features.RemMsgSize) * scale.EE
-	}
-	return pred, nil
+	return fitted.Extrapolate(g, 0)
 }
 
 // SampleVertexRatio returns the achieved |V_S|/|V_G| of the sample run.

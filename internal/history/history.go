@@ -38,6 +38,55 @@ type Record struct {
 	// Iterations holds one row per superstep: the feature vector followed
 	// by the simulated seconds.
 	Iterations []IterationRow `json:"iterations"`
+	// Model optionally carries the extrapolation metadata of a fitted
+	// cost-model cache entry (kind "model"), letting a prediction service
+	// warm its cache from history: the rows above retrain the regression
+	// (cheap) while Model restores the sample-scale context the expensive
+	// sample runs produced. Absent on plain run records.
+	Model *ModelMeta `json:"model,omitempty"`
+}
+
+// ModelMeta is the extrapolation context of one fitted cost model — the
+// scalars a core.Fitted needs beyond its training rows. Together with a
+// Record's iteration rows it reconstructs a cache entry without re-running
+// the sample pipeline.
+type ModelMeta struct {
+	// Key is the service's canonical cache key (algorithm, cluster config,
+	// sampling config, training ratios, dataset identity).
+	Key string `json:"key"`
+	// SampleVertices/SampleEdges size the sample graph (extrapolation
+	// denominators).
+	SampleVertices int   `json:"sample_vertices"`
+	SampleEdges    int64 `json:"sample_edges"`
+	// SampleVertexRatio/SampleEdgeRatio are the achieved sampling ratios.
+	SampleVertexRatio float64 `json:"sample_vertex_ratio"`
+	SampleEdgeRatio   float64 `json:"sample_edge_ratio"`
+	// SampleCriticalShare is the structural critical-path share of the
+	// sample graph at SampleWorkers.
+	SampleCriticalShare float64 `json:"sample_critical_share"`
+	// ProfiledCriticalShare is the profiled critical share of the sample
+	// run.
+	ProfiledCriticalShare float64 `json:"profiled_critical_share"`
+	// SampleRunSeconds is the simulated planning cost of the sample run.
+	SampleRunSeconds float64 `json:"sample_run_seconds"`
+	// SampleWorkers is the sample cluster's resolved worker count.
+	SampleWorkers int `json:"sample_workers"`
+	// Mode is the feature-reduction mode (features.Mode) the rows encode.
+	Mode int `json:"mode"`
+	// VerticesOnly records the eV-only extrapolation ablation.
+	VerticesOnly bool `json:"vertices_only,omitempty"`
+	// RemoteBytesPerIter holds raw per-iteration remote message bytes for
+	// the Figure 6 remote-bytes prediction.
+	RemoteBytesPerIter []float64 `json:"remote_bytes_per_iter,omitempty"`
+	// TrainingRows is the full training matrix the model was fitted on
+	// (main sample run, additional-ratio runs, history) — the refit input.
+	// The Record's Iterations rows are only the main sample run's, which
+	// double as the extrapolation vectors.
+	TrainingRows []IterationRow `json:"training_rows,omitempty"`
+	// MaxFeatures/DisableSelection reproduce the costmodel.Options the
+	// model was fitted under, so a refit selects the same features.
+	MaxFeatures      int  `json:"max_features,omitempty"`
+	DisableSelection bool `json:"disable_selection,omitempty"`
 }
 
 // IterationRow is one superstep's features and runtime.

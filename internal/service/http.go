@@ -1,0 +1,207 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// BatchRequest asks for many predictions in one call. Items are answered
+// concurrently; identical model keys share one fit via the cache's
+// single-flight, so a what-if sweep over worker counts pays for at most
+// one cold path per distinct (algorithm, cluster, training, dataset) key.
+type BatchRequest struct {
+	Requests []PredictRequest `json:"requests"`
+}
+
+// BatchItem is one batch answer: a response or an error, never both.
+type BatchItem struct {
+	Response *PredictResponse `json:"response,omitempty"`
+	Error    string           `json:"error,omitempty"`
+}
+
+// BatchResponse answers a BatchRequest positionally.
+type BatchResponse struct {
+	Responses []BatchItem `json:"responses"`
+	// CacheHits counts items answered from cached models.
+	CacheHits int `json:"cache_hits"`
+	// ElapsedMillis is the wall-clock time of the whole batch.
+	ElapsedMillis float64 `json:"elapsed_ms"`
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST /predict        PredictRequest  -> PredictResponse
+//	POST /predict/batch  BatchRequest    -> BatchResponse
+//	GET  /models         -> {"models": [ModelInfo...]}
+//	GET  /healthz        -> {"status": "ok", ...Stats}
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/predict/batch", s.handleBatch)
+	mux.HandleFunc("/models", s.handleModels)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// requestContext derives the per-request context from the request's
+// timeout override or the service default.
+func (s *Service) requestContext(r *http.Request, timeoutMillis int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMillis > 0 {
+		d = time.Duration(timeoutMillis) * time.Millisecond
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req PredictRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMillis)
+	defer cancel()
+	resp, err := s.Predict(ctx, req)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var batch BatchRequest
+	if err := decodeJSON(w, r, &batch); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(batch.Requests) == 0 {
+		writeError(w, http.StatusBadRequest, "service: empty batch")
+		return
+	}
+	if len(batch.Requests) > s.cfg.MaxBatch {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+			"service: batch of %d exceeds limit %d", len(batch.Requests), s.cfg.MaxBatch))
+		return
+	}
+
+	start := time.Now()
+	ctx, cancel := s.requestContext(r, 0)
+	defer cancel()
+
+	resp := BatchResponse{Responses: make([]BatchItem, len(batch.Requests))}
+	// Bounded fan-out: a batch of distinct cold requests must not launch
+	// MaxBatch sample pipelines at once.
+	sem := make(chan struct{}, s.cfg.BatchParallelism)
+	var wg sync.WaitGroup
+	for i, req := range batch.Requests {
+		wg.Add(1)
+		go func(i int, req PredictRequest) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			itemCtx := ctx
+			var itemCancel context.CancelFunc = func() {}
+			if req.TimeoutMillis > 0 {
+				itemCtx, itemCancel = context.WithTimeout(ctx,
+					time.Duration(req.TimeoutMillis)*time.Millisecond)
+			}
+			defer itemCancel()
+			pr, err := s.Predict(itemCtx, req)
+			if err != nil {
+				resp.Responses[i] = BatchItem{Error: err.Error()}
+				return
+			}
+			resp.Responses[i] = BatchItem{Response: pr}
+		}(i, req)
+	}
+	wg.Wait()
+	for _, item := range resp.Responses {
+		if item.Response != nil && item.Response.CacheHit {
+			resp.CacheHits++
+		}
+	}
+	resp.ElapsedMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleModels(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	models := s.Models()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"models": models,
+		"count":  len(models),
+	})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": s.Uptime().Seconds(),
+		"models":         st.Models,
+		"graphs":         st.Graphs,
+		"hits":           st.Hits,
+		"misses":         st.Misses,
+		"evictions":      st.Evictions,
+		"fits":           st.Fits,
+	})
+}
+
+// maxBodyBytes bounds request bodies so one oversized POST cannot exhaust
+// the long-running server's memory. Generous for the largest legal batch.
+const maxBodyBytes = 8 << 20
+
+// decodeJSON strictly decodes one size-limited JSON body into v.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("service: malformed request body: %w", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// writeServiceError maps service errors to HTTP statuses.
+func writeServiceError(w http.ResponseWriter, err error) {
+	var se *Error
+	if errors.As(err, &se) {
+		writeError(w, se.Status, se.Msg)
+		return
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err.Error())
+}

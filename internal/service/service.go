@@ -1,0 +1,516 @@
+// Package service turns the batch PREDIcT pipeline into a long-running
+// prediction service: graphs are loaded once, fitted cost models are
+// cached and reused across requests, and predictions are answered
+// concurrently over JSON/HTTP.
+//
+// The split follows the cost structure of the pipeline. The expensive half
+// — drawing samples, profiling transformed sample runs at several training
+// ratios, fitting the regression (core.Predictor.Fit) — depends only on
+// (algorithm configuration, cluster configuration, sampling configuration,
+// training ratios, input dataset). The cheap half — extrapolating the
+// fitted features to full scale and pricing them (core.Fitted.Extrapolate)
+// — additionally takes a what-if worker count. The service therefore keys
+// an LRU-bounded cache of core.Fitted values by the expensive half's
+// inputs; repeated queries, batch sweeps and what-if cluster sizing all
+// hit the cache and pay only extrapolation. This mirrors how C3O-style
+// systems answer many configuration queries from runtime models trained
+// once.
+//
+// Endpoints (all JSON):
+//
+//	POST /predict        one PredictRequest  -> PredictResponse
+//	POST /predict/batch  BatchRequest        -> BatchResponse (concurrent)
+//	GET  /models         cached model inventory
+//	GET  /healthz        liveness + cache statistics
+//
+// Cache entries persist through internal/history ("model" records):
+// SaveHistory archives every cached entry's training matrix and
+// extrapolation context, and WarmFromHistory refits them at startup —
+// cheap regression refits instead of expensive sample reruns.
+package service
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"predict/internal/algorithms"
+	"predict/internal/bsp"
+	"predict/internal/cluster"
+	"predict/internal/core"
+	"predict/internal/gen"
+	"predict/internal/graph"
+	"predict/internal/history"
+	"predict/internal/sampling"
+)
+
+// DefaultTrainingRatios are the paper's §5.2 training sampling ratios,
+// used when a request does not override them.
+var DefaultTrainingRatios = []float64{0.05, 0.10, 0.15, 0.20}
+
+// Config parameterizes a Service.
+type Config struct {
+	// MaxModels bounds the fitted-model LRU cache; zero selects 64.
+	MaxModels int
+	// MaxGraphs bounds the generated-graph LRU cache; zero selects 8.
+	MaxGraphs int
+	// DefaultTimeout bounds each request when the request itself does not
+	// set one; zero selects 60s.
+	DefaultTimeout time.Duration
+	// MaxBatch bounds the number of requests in one batch call; zero
+	// selects 256.
+	MaxBatch int
+	// BatchParallelism bounds how many batch items execute at once, so
+	// one batch of distinct cold requests cannot launch MaxBatch sample
+	// pipelines simultaneously; zero selects GOMAXPROCS.
+	BatchParallelism int
+	// Cluster is the sample-run execution environment. The zero value
+	// selects 8 workers priced by cluster.DefaultOracle() — the repo's
+	// stand-in for the paper's testbed.
+	Cluster bsp.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxModels <= 0 {
+		c.MaxModels = 64
+	}
+	if c.MaxGraphs <= 0 {
+		c.MaxGraphs = 8
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.BatchParallelism <= 0 {
+		c.BatchParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Cluster.Oracle == nil {
+		o := cluster.DefaultOracle()
+		c.Cluster.Oracle = &o
+	}
+	if c.Cluster.Workers == 0 {
+		c.Cluster.Workers = bsp.DefaultWorkers
+	}
+	return c
+}
+
+// Service answers prediction requests from cached graphs and cost models.
+// All methods are safe for concurrent use.
+type Service struct {
+	cfg    Config
+	models *cache[*core.Fitted]
+	graphs *cache[*graph.Graph]
+	start  time.Time
+
+	// fits counts cold-path model fits (for tests and /healthz).
+	fits atomic.Int64
+}
+
+// New returns a Service with the given configuration.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		cfg:    cfg,
+		models: newCache[*core.Fitted](cfg.MaxModels),
+		graphs: newCache[*graph.Graph](cfg.MaxGraphs),
+		start:  time.Now(),
+	}
+}
+
+// PredictRequest is one prediction query.
+type PredictRequest struct {
+	// Dataset is a stand-in prefix: LJ, Wiki, TW or UK.
+	Dataset string `json:"dataset"`
+	// Scale is the dataset scale factor; zero selects 1.0.
+	Scale float64 `json:"scale,omitempty"`
+	// GraphSeed seeds dataset generation; zero selects 1.
+	GraphSeed uint64 `json:"graph_seed,omitempty"`
+	// Algorithm names the algorithm: PR, SC, TOPK, CC, NH (or long names).
+	Algorithm string `json:"algorithm"`
+	// Epsilon is the PageRank tolerance (tau = eps/N) for PR and TOPK;
+	// zero selects 0.001.
+	Epsilon float64 `json:"epsilon,omitempty"`
+	// Ratio is the main sampling ratio; zero selects 0.10.
+	Ratio float64 `json:"ratio,omitempty"`
+	// Method is the sampling method: BRJ (default), RJ, MHRW, UNI.
+	Method string `json:"method,omitempty"`
+	// SampleSeed seeds sampling; zero selects 1.
+	SampleSeed uint64 `json:"sample_seed,omitempty"`
+	// TrainingRatios override the paper's {0.05, 0.10, 0.15, 0.20}.
+	TrainingRatios []float64 `json:"training_ratios,omitempty"`
+	// Workers is the what-if worker count of the target run; zero keeps
+	// the sample cluster's size (the paper's matched-environment
+	// assumption iii). Non-zero values answer capacity-planning queries
+	// from the same cached model: only the critical-path share moves.
+	Workers int `json:"workers,omitempty"`
+	// TimeoutMillis bounds this request; zero selects the service default.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+}
+
+func (r PredictRequest) withDefaults() PredictRequest {
+	if r.Scale == 0 {
+		r.Scale = 1.0
+	}
+	if r.GraphSeed == 0 {
+		r.GraphSeed = 1
+	}
+	if r.Epsilon == 0 {
+		r.Epsilon = 0.001
+	}
+	if r.Ratio == 0 {
+		r.Ratio = 0.10
+	}
+	if r.Method == "" {
+		r.Method = string(sampling.BiasedRandomJump)
+	}
+	if r.SampleSeed == 0 {
+		r.SampleSeed = 1
+	}
+	if len(r.TrainingRatios) == 0 {
+		r.TrainingRatios = DefaultTrainingRatios
+	}
+	return r
+}
+
+// Validate reports malformed request fields without touching any cache.
+func (r PredictRequest) Validate() error {
+	if r.Dataset == "" {
+		return fmt.Errorf("service: missing dataset")
+	}
+	if _, err := gen.ByPrefix(r.Dataset); err != nil {
+		return fmt.Errorf("service: unknown dataset %q (want LJ, Wiki, TW or UK)", r.Dataset)
+	}
+	if r.Algorithm == "" {
+		return fmt.Errorf("service: missing algorithm")
+	}
+	if _, err := algorithms.ByName(r.Algorithm); err != nil {
+		return fmt.Errorf("service: %w", err)
+	}
+	if r.Scale < 0 {
+		return fmt.Errorf("service: negative scale %v", r.Scale)
+	}
+	if r.Ratio < 0 || r.Ratio > 1 {
+		return fmt.Errorf("service: sampling ratio %v out of (0, 1]", r.Ratio)
+	}
+	if r.Workers < 0 {
+		return fmt.Errorf("service: negative workers %d", r.Workers)
+	}
+	switch sampling.Method(r.Method) {
+	case "", sampling.BiasedRandomJump, sampling.RandomJump,
+		sampling.MetropolisHastings, sampling.UniformVertex:
+	default:
+		return fmt.Errorf("service: unknown sampling method %q", r.Method)
+	}
+	for _, tr := range r.TrainingRatios {
+		if tr <= 0 || tr > 1 {
+			return fmt.Errorf("service: training ratio %v out of (0, 1]", tr)
+		}
+	}
+	if r.TimeoutMillis < 0 {
+		return fmt.Errorf("service: negative timeout %d", r.TimeoutMillis)
+	}
+	return nil
+}
+
+// PredictResponse is the answer to one PredictRequest.
+type PredictResponse struct {
+	Algorithm string `json:"algorithm"`
+	Dataset   string `json:"dataset"`
+	// Iterations and SuperstepSeconds are the headline predictions.
+	Iterations       int     `json:"iterations"`
+	SuperstepSeconds float64 `json:"superstep_seconds"`
+	// PerIterationSeconds breaks the runtime down by superstep.
+	PerIterationSeconds []float64 `json:"per_iteration_seconds,omitempty"`
+	// RemoteMessageBytes is the extrapolated network volume (Figure 6).
+	RemoteMessageBytes float64 `json:"remote_message_bytes"`
+	// ModelR2 and ModelFeatures describe the (possibly cached) cost model.
+	ModelR2       float64  `json:"model_r2"`
+	ModelFeatures []string `json:"model_features"`
+	// ModelKey is the cache key; equal keys share one fitted model.
+	ModelKey string `json:"model_key"`
+	// CacheHit reports whether the expensive pipeline was skipped.
+	CacheHit bool `json:"cache_hit"`
+	// Workers is the worker count the prediction targets.
+	Workers int `json:"workers"`
+	// SampleRunSeconds is the simulated planning cost paid when the model
+	// was fitted (zero marginal cost on cache hits).
+	SampleRunSeconds float64 `json:"sample_run_seconds"`
+	// ElapsedMillis is the service-side wall-clock latency.
+	ElapsedMillis float64 `json:"elapsed_ms"`
+}
+
+// modelKey canonicalizes the expensive half's inputs. Everything that
+// changes the fitted model is in the key; the what-if worker count is
+// deliberately not. The algorithm name is canonicalized ("PR" and
+// "PageRank" share a model) and epsilon only enters for the PageRank-
+// based algorithms that consume it, so epsilon-insensitive requests
+// cannot fragment the cache.
+func (s *Service) modelKey(r PredictRequest) string {
+	name, eps := r.Algorithm, 0.0
+	if alg, err := algorithms.ByName(r.Algorithm); err == nil {
+		name = alg.Name()
+		switch alg.(type) {
+		case algorithms.PageRank, algorithms.TopKRanking:
+			eps = r.Epsilon
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "alg=%s,eps=%g", name, eps)
+	fmt.Fprintf(&b, "|data=%s,scale=%g,gseed=%d", r.Dataset, r.Scale, r.GraphSeed)
+	fmt.Fprintf(&b, "|method=%s,ratio=%g,sseed=%d", r.Method, r.Ratio, r.SampleSeed)
+	ratios := make([]string, len(r.TrainingRatios))
+	for i, tr := range r.TrainingRatios {
+		ratios[i] = fmt.Sprintf("%g", tr)
+	}
+	fmt.Fprintf(&b, "|train=%s", strings.Join(ratios, ","))
+	// The oracle enters as an opaque fingerprint: any coefficient change
+	// invalidates the key without leaking the hidden ground truth into
+	// API responses.
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", *s.cfg.Cluster.Oracle)
+	fmt.Fprintf(&b, "|cluster=w%d,s%d,o%x",
+		s.cfg.Cluster.Workers, s.cfg.Cluster.Seed, h.Sum64())
+	return b.String()
+}
+
+// graphFor returns the requested dataset graph, generating it at most once
+// per (prefix, scale, seed).
+func (s *Service) graphFor(ctx context.Context, r PredictRequest) (*graph.Graph, error) {
+	key := fmt.Sprintf("%s|%g|%d", r.Dataset, r.Scale, r.GraphSeed)
+	g, _, err := s.graphs.get(ctx, key, func() (*graph.Graph, error) {
+		ds, err := gen.ByPrefix(r.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		return ds.Generate(r.Scale, r.GraphSeed), nil
+	})
+	return g, err
+}
+
+// algorithmFor configures the named algorithm for a graph of n vertices.
+func algorithmFor(name string, eps float64, n int) (algorithms.Algorithm, error) {
+	alg, err := algorithms.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	switch a := alg.(type) {
+	case algorithms.PageRank:
+		a.Tau = algorithms.TauForTolerance(eps, n)
+		return a, nil
+	case algorithms.TopKRanking:
+		a.PageRank.Tau = algorithms.TauForTolerance(eps, n)
+		return a, nil
+	}
+	return alg, nil
+}
+
+// Predict answers one request, consulting and populating the model cache.
+// The fit of a cache miss is shared across concurrent identical requests
+// (single-flight) and keeps running to completion even if ctx expires, so
+// the cache still warms; only the response is abandoned.
+func (s *Service) Predict(ctx context.Context, req PredictRequest) (*PredictResponse, error) {
+	start := time.Now()
+	req = req.withDefaults()
+	if err := req.Validate(); err != nil {
+		return nil, &Error{Status: 400, Msg: err.Error()}
+	}
+
+	g, err := s.graphFor(ctx, req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, &Error{Status: 504, Msg: fmt.Sprintf(
+				"service: request timed out generating dataset %s", req.Dataset)}
+		}
+		return nil, &Error{Status: 400, Msg: err.Error()}
+	}
+
+	key := s.modelKey(req)
+	fitted, hit, err := s.models.get(ctx, key, func() (*core.Fitted, error) {
+		return s.fit(req, g)
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, &Error{Status: 504, Msg: fmt.Sprintf(
+				"service: request timed out while fitting model %s", key)}
+		}
+		return nil, &Error{Status: 500, Msg: err.Error()}
+	}
+
+	pred, err := fitted.Extrapolate(g, req.Workers)
+	if err != nil {
+		return nil, &Error{Status: 500, Msg: err.Error()}
+	}
+	workers := req.Workers
+	if workers == 0 {
+		workers = fitted.SampleWorkers
+	}
+	resp := &PredictResponse{
+		Algorithm:           pred.Algorithm,
+		Dataset:             req.Dataset,
+		Iterations:          pred.Iterations,
+		SuperstepSeconds:    pred.SuperstepSeconds,
+		PerIterationSeconds: pred.PerIterationSeconds,
+		RemoteMessageBytes:  pred.PredictedRemoteMessageBytes,
+		ModelR2:             pred.Model.R2(),
+		ModelKey:            key,
+		CacheHit:            hit,
+		Workers:             workers,
+		SampleRunSeconds:    pred.SampleRunSeconds,
+		ElapsedMillis:       float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	for _, f := range pred.Model.SelectedFeatures() {
+		resp.ModelFeatures = append(resp.ModelFeatures, string(f))
+	}
+	return resp, nil
+}
+
+// fit runs the expensive pipeline half for a request (cold path).
+func (s *Service) fit(req PredictRequest, g *graph.Graph) (*core.Fitted, error) {
+	alg, err := algorithmFor(req.Algorithm, req.Epsilon, g.NumVertices())
+	if err != nil {
+		return nil, err
+	}
+	p := core.New(core.Options{
+		Method:         sampling.Method(req.Method),
+		Sampling:       sampling.Options{Ratio: req.Ratio, Seed: req.SampleSeed},
+		BSP:            s.cfg.Cluster,
+		TrainingRatios: req.TrainingRatios,
+	})
+	s.fits.Add(1)
+	return p.Fit(alg, g)
+}
+
+// ModelInfo describes one cached model for the /models inventory.
+type ModelInfo struct {
+	Key        string   `json:"key"`
+	Algorithm  string   `json:"algorithm"`
+	Iterations int      `json:"iterations"`
+	R2         float64  `json:"r2"`
+	Features   []string `json:"features"`
+	Hits       int64    `json:"hits"`
+	AgeSeconds float64  `json:"age_seconds"`
+}
+
+// Models lists the cached models, most recently used first.
+func (s *Service) Models() []ModelInfo {
+	entries := s.models.snapshot()
+	out := make([]ModelInfo, 0, len(entries))
+	for _, e := range entries {
+		info := ModelInfo{
+			Key:        e.key,
+			Algorithm:  e.val.Algorithm,
+			Iterations: e.val.Iterations,
+			R2:         e.val.Model.R2(),
+			Hits:       e.hits,
+			AgeSeconds: time.Since(e.added).Seconds(),
+		}
+		for _, f := range e.val.Model.SelectedFeatures() {
+			info.Features = append(info.Features, string(f))
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Stats are the service's cache counters.
+type Stats struct {
+	Models    int   `json:"models"`
+	Graphs    int   `json:"graphs"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Fits      int64 `json:"fits"`
+}
+
+// Stats returns a snapshot of the cache counters.
+func (s *Service) Stats() Stats {
+	h, m, ev := s.models.counters()
+	return Stats{
+		Models:    s.models.len(),
+		Graphs:    s.graphs.len(),
+		Hits:      h,
+		Misses:    m,
+		Evictions: ev,
+		Fits:      s.fits.Load(),
+	}
+}
+
+// Uptime reports how long the service has been running.
+func (s *Service) Uptime() time.Duration { return time.Since(s.start) }
+
+// SaveHistory archives every cached model as a history "model" record,
+// returning the number written. The snapshot replaces the file atomically
+// (temp file + rename), so a crash or full disk mid-write cannot destroy
+// the previous snapshot. Together with WarmFromHistory it gives the cache
+// crash/restart durability without re-running sample pipelines.
+func (s *Service) SaveHistory(path string) (int, error) {
+	entries := s.models.snapshot()
+	// Oldest first so a warm start re-inserts in LRU order.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].added.Before(entries[j].added) })
+	records := make([]history.Record, 0, len(entries))
+	for _, e := range entries {
+		records = append(records, e.val.Record(e.key, e.key))
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := history.Write(tmp, records...); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, err
+	}
+	return len(records), nil
+}
+
+// WarmFromHistory loads "model" records from a history file and refits
+// them into the cache (cheap regression refits; no sample runs). Missing
+// files are not an error, and individually unreadable records are skipped
+// rather than aborting the warm-up; the skipped count reports them so
+// operators can decide whether overwriting the file loses data.
+func (s *Service) WarmFromHistory(path string) (warmed, skipped int, err error) {
+	records, err := history.LoadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, 0, nil
+		}
+		return 0, 0, err
+	}
+	for _, rec := range records {
+		if rec.Model == nil {
+			continue
+		}
+		fitted, err := core.FittedFromRecord(rec)
+		if err != nil {
+			skipped++
+			continue
+		}
+		s.models.put(rec.Model.Key, fitted)
+		warmed++
+	}
+	return warmed, skipped, nil
+}
+
+// Error is a service error with an HTTP status.
+type Error struct {
+	Status int
+	Msg    string
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string { return e.Msg }

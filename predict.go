@@ -37,6 +37,11 @@
 // four real datasets with seeded synthetic stand-ins; see DESIGN.md for
 // the substitution arguments and EXPERIMENTS.md for paper-vs-measured
 // results of every table and figure.
+//
+// For repeated or what-if queries, cmd/predictd serves predictions over
+// HTTP with cached cost models (internal/service): the expensive half of
+// the pipeline (sample runs + regression) runs once per distinct
+// configuration and every later query pays only extrapolation.
 package predict
 
 import (
