@@ -10,11 +10,10 @@ package predict_test
 
 import (
 	"math"
-	"os"
-	"strconv"
 	"testing"
 
 	"predict/internal/algorithms"
+	"predict/internal/benchenv"
 	"predict/internal/bsp"
 	"predict/internal/cluster"
 	"predict/internal/experiments"
@@ -23,18 +22,24 @@ import (
 	"predict/internal/sampling"
 )
 
-func benchScale() float64 {
-	if s := os.Getenv("PREDICT_BENCH_SCALE"); s != "" {
-		if v, err := strconv.ParseFloat(s, 64); err == nil && v > 0 {
-			return v
-		}
+// benchScale resolves the benchmark dataset scale from the
+// PREDICT_BENCH_SCALE environment variable (default 0.15, documented in
+// the README; validation shared with cmd/bench via internal/benchenv).
+// Malformed values fail the benchmark loudly: silently falling back to
+// the default would make a mistyped CI variable measure the wrong
+// workload without anyone noticing.
+func benchScale(tb testing.TB) float64 {
+	tb.Helper()
+	v, err := benchenv.Scale(0.15)
+	if err != nil {
+		tb.Fatal(err)
 	}
-	return 0.15
+	return v
 }
 
-func benchLab() *experiments.Lab {
+func benchLab(tb testing.TB) *experiments.Lab {
 	return experiments.NewLab(experiments.Config{
-		Scale:          benchScale(),
+		Scale:          benchScale(tb),
 		Seed:           7,
 		Ratios:         []float64{0.05, 0.10, 0.20},
 		TrainingRatios: []float64{0.05, 0.10, 0.15, 0.20},
@@ -65,7 +70,7 @@ func benchFigure(b *testing.B, run func(lab *experiments.Lab) ([]*experiments.Fi
 	b.Helper()
 	var lastErr float64
 	for i := 0; i < b.N; i++ {
-		lab := benchLab()
+		lab := benchLab(b)
 		figs, err := run(lab)
 		if err != nil {
 			b.Fatal(err)
@@ -78,7 +83,7 @@ func benchFigure(b *testing.B, run func(lab *experiments.Lab) ([]*experiments.Fi
 func benchTable(b *testing.B, run func(lab *experiments.Lab) (*experiments.TableResult, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		lab := benchLab()
+		lab := benchLab(b)
 		if _, err := run(lab); err != nil {
 			b.Fatal(err)
 		}
@@ -249,9 +254,10 @@ func BenchmarkGraphGeneration(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	scale := benchScale(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g := ds.Generate(benchScale(), uint64(i))
+		g := ds.Generate(scale, uint64(i))
 		if g.NumVertices() == 0 {
 			b.Fatal("empty graph")
 		}

@@ -1,0 +1,389 @@
+// Command bench is the repo's reproducible performance harness. It runs
+// the three scenarios that define the serving system's cost structure at
+// fixed seeds and a fixed dataset scale, and writes the measurements to a
+// JSON artifact (BENCH_results.json by default) that the perf trajectory
+// and the CI bench gate consume:
+//
+//	cold_fit_sequential   Predictor.Fit with Parallelism=1 — the baseline
+//	cold_fit_parallel     the same fit on a GOMAXPROCS pool, plus the
+//	                      speedup vs sequential and a coefficient-identity
+//	                      check (the parallel fit must be bit-identical)
+//	warm_extrapolate      Fitted.Extrapolate on the cached model
+//	service_end_to_end    a mixed cold/warm workload over the HTTP service
+//
+// Usage:
+//
+//	bench                                  # report only
+//	bench -min-speedup 1.5                 # CI gate: exit 1 below 1.5x
+//	PREDICT_BENCH_SCALE=0.08 bench         # smaller dataset stand-ins
+//
+// Timings vary with the host; everything else — samples, models,
+// predictions — is fixed by the seeds, so two runs of the harness are
+// directly comparable. The parallel-fit speedup needs real cores: on a
+// single-CPU host it hovers around 1.0x, which is why the gate is an
+// explicit flag rather than a default.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"predict/internal/algorithms"
+	"predict/internal/benchenv"
+	"predict/internal/bsp"
+	"predict/internal/cluster"
+	"predict/internal/core"
+	"predict/internal/features"
+	"predict/internal/gen"
+	"predict/internal/graph"
+	"predict/internal/parallel"
+	"predict/internal/sampling"
+	"predict/internal/service"
+)
+
+// trainingRatios is the paper's §5.2 four-ratio training schedule — the
+// "4-ratio scenario" the CI speedup gate is defined on (the main ratio
+// 0.10 is one of the four, so a fit runs exactly 4 sample pipelines).
+var trainingRatios = []float64{0.05, 0.10, 0.15, 0.20}
+
+// Scenario is one benchmark measurement in the JSON artifact.
+type Scenario struct {
+	Name string `json:"name"`
+	// Runs is how many repetitions were measured; NsPerOp is the best
+	// (minimum) repetition, the standard noise-resistant statistic.
+	Runs    int     `json:"runs"`
+	NsPerOp float64 `json:"ns_per_op"`
+	OpsPerS float64 `json:"ops_per_sec"`
+	// SpeedupVsSequential is set on cold_fit_parallel.
+	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
+	// CoefficientsMatch is set on cold_fit_parallel: whether the parallel
+	// fit's model is bit-identical to the sequential baseline's.
+	CoefficientsMatch *bool `json:"coefficients_match,omitempty"`
+	// CacheHitRatio and Requests are set on service_end_to_end.
+	CacheHitRatio *float64 `json:"cache_hit_ratio,omitempty"`
+	Requests      int      `json:"requests,omitempty"`
+}
+
+// Results is the BENCH_results.json schema.
+type Results struct {
+	GeneratedAt    string     `json:"generated_at"`
+	GoVersion      string     `json:"go_version"`
+	GOMAXPROCS     int        `json:"gomaxprocs"`
+	NumCPU         int        `json:"num_cpu"`
+	Dataset        string     `json:"dataset"`
+	Scale          float64    `json:"scale"`
+	TrainingRatios []float64  `json:"training_ratios"`
+	Scenarios      []Scenario `json:"scenarios"`
+	// ColdFitSpeedup duplicates the parallel scenario's speedup at the
+	// top level so the CI gate and the trajectory can read one field.
+	ColdFitSpeedup float64 `json:"cold_fit_speedup"`
+}
+
+func main() {
+	var (
+		out        = flag.String("out", "BENCH_results.json", "output artifact path")
+		dataset    = flag.String("dataset", "Wiki", "dataset stand-in prefix (LJ, Wiki, TW, UK)")
+		scale      = flag.Float64("scale", 0, "dataset scale factor (0 = $PREDICT_BENCH_SCALE or 0.1)")
+		runs       = flag.Int("runs", 3, "repetitions per cold-fit scenario (best is reported)")
+		minSpeedup = flag.Float64("min-speedup", 0, "fail (exit 1) if parallel cold-fit speedup is below this (0 disables the gate)")
+	)
+	flag.Parse()
+	if err := run(*out, *dataset, *scale, *runs, *minSpeedup); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// benchScale resolves the dataset scale: the -scale flag, else the
+// PREDICT_BENCH_SCALE environment variable (shared validation in
+// internal/benchenv), else 0.1. Malformed values are an error, not a
+// silent fallback.
+func benchScale(flagScale float64) (float64, error) {
+	if flagScale != 0 {
+		if flagScale < 0 || math.IsNaN(flagScale) || math.IsInf(flagScale, 0) {
+			return 0, fmt.Errorf("malformed -scale %v: want a positive float", flagScale)
+		}
+		return flagScale, nil
+	}
+	return benchenv.Scale(0.1)
+}
+
+func run(out, dataset string, flagScale float64, runs int, minSpeedup float64) error {
+	scale, err := benchScale(flagScale)
+	if err != nil {
+		return err
+	}
+	if runs < 1 {
+		runs = 1
+	}
+	ds, err := gen.ByPrefix(dataset)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bench: dataset=%s scale=%g gomaxprocs=%d runs=%d\n",
+		dataset, scale, runtime.GOMAXPROCS(0), runs)
+	g := ds.Generate(scale, 1)
+
+	res := &Results{
+		GeneratedAt:    time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		GOMAXPROCS:     runtime.GOMAXPROCS(0),
+		NumCPU:         runtime.NumCPU(),
+		Dataset:        dataset,
+		Scale:          scale,
+		TrainingRatios: trainingRatios,
+	}
+
+	seqNs, seqFit, err := coldFit(g, 1, runs)
+	if err != nil {
+		return fmt.Errorf("cold_fit_sequential: %w", err)
+	}
+	res.add(Scenario{Name: "cold_fit_sequential", Runs: runs, NsPerOp: seqNs, OpsPerS: opsPerS(seqNs)})
+
+	parNs, parFit, err := coldFit(g, 0, runs)
+	if err != nil {
+		return fmt.Errorf("cold_fit_parallel: %w", err)
+	}
+	speedup := seqNs / parNs
+	match, err := sameModel(seqFit, parFit, g)
+	if err != nil {
+		return err
+	}
+	res.ColdFitSpeedup = speedup
+	res.add(Scenario{
+		Name: "cold_fit_parallel", Runs: runs, NsPerOp: parNs, OpsPerS: opsPerS(parNs),
+		SpeedupVsSequential: speedup, CoefficientsMatch: &match,
+	})
+
+	warmNs, err := warmExtrapolate(seqFit, g)
+	if err != nil {
+		return fmt.Errorf("warm_extrapolate: %w", err)
+	}
+	res.add(Scenario{Name: "warm_extrapolate", Runs: 1, NsPerOp: warmNs, OpsPerS: opsPerS(warmNs)})
+
+	svcScenario, err := serviceEndToEnd(dataset, scale)
+	if err != nil {
+		return fmt.Errorf("service_end_to_end: %w", err)
+	}
+	res.add(*svcScenario)
+
+	if err := writeResults(out, res); err != nil {
+		return err
+	}
+	fmt.Printf("bench: wrote %s (cold-fit speedup %.2fx, coefficients match %v)\n",
+		out, speedup, match)
+
+	if !match {
+		return fmt.Errorf("parallel fit is not bit-identical to the sequential baseline")
+	}
+	if minSpeedup > 0 && speedup < minSpeedup {
+		return fmt.Errorf("cold-fit speedup %.2fx below the %.2fx gate (gomaxprocs=%d)",
+			speedup, minSpeedup, runtime.GOMAXPROCS(0))
+	}
+	return nil
+}
+
+func (r *Results) add(s Scenario) {
+	r.Scenarios = append(r.Scenarios, s)
+	extra := ""
+	if s.SpeedupVsSequential > 0 {
+		extra = fmt.Sprintf("  speedup=%.2fx", s.SpeedupVsSequential)
+	}
+	if s.CacheHitRatio != nil {
+		extra = fmt.Sprintf("  hit-ratio=%.2f", *s.CacheHitRatio)
+	}
+	fmt.Printf("  %-22s %12.0f ns/op%s\n", s.Name, s.NsPerOp, extra)
+}
+
+func opsPerS(nsPerOp float64) float64 {
+	if nsPerOp <= 0 {
+		return 0
+	}
+	return 1e9 / nsPerOp
+}
+
+// benchEnv is the fixed sample-run environment: 4 workers, the default
+// oracle, no noise so the cost model is exactly reproducible.
+func benchEnv() bsp.Config {
+	o := cluster.DefaultOracle()
+	o.NoiseStdDev = 0
+	o.MemoryBudgetBytes = 0
+	return bsp.Config{Workers: 4, Oracle: &o, Seed: 1}
+}
+
+func benchPredictor(parallelism, n int) (*core.Predictor, algorithms.Algorithm) {
+	pr := algorithms.NewPageRank()
+	pr.Tau = algorithms.TauForTolerance(0.001, n)
+	p := core.New(core.Options{
+		Sampling:       sampling.Options{Ratio: 0.10, Seed: 1},
+		BSP:            benchEnv(),
+		TrainingRatios: trainingRatios,
+		Parallelism:    parallelism,
+	})
+	return p, pr
+}
+
+// coldFit measures Predictor.Fit at the given parallelism (1 = the
+// sequential baseline, 0 = GOMAXPROCS) and returns the best ns/op plus
+// the last fitted model for the identity check.
+func coldFit(g *graph.Graph, parallelism, runs int) (float64, *core.Fitted, error) {
+	p, alg := benchPredictor(parallelism, g.NumVertices())
+	var err error
+	best := math.MaxFloat64
+	var fitted *core.Fitted
+	for r := 0; r < runs; r++ {
+		start := time.Now()
+		fitted, err = p.Fit(alg, g)
+		if err != nil {
+			return 0, nil, err
+		}
+		if ns := float64(time.Since(start).Nanoseconds()); ns < best {
+			best = ns
+		}
+	}
+	return best, fitted, nil
+}
+
+// sameModel reports whether two fits produced bit-identical models and
+// predictions, by comparing a canonical JSON encoding of coefficients,
+// intercept, selected features, R2, iteration count and the per-iteration
+// runtime prediction on g.
+func sameModel(a, b *core.Fitted, g *graph.Graph) (bool, error) {
+	ja, err := modelFingerprint(a, g)
+	if err != nil {
+		return false, err
+	}
+	jb, err := modelFingerprint(b, g)
+	if err != nil {
+		return false, err
+	}
+	return bytes.Equal(ja, jb), nil
+}
+
+func modelFingerprint(f *core.Fitted, g *graph.Graph) ([]byte, error) {
+	pred, err := f.Extrapolate(g, 0)
+	if err != nil {
+		return nil, err
+	}
+	coeffs, intercept := f.Model.Coefficients()
+	names := make([]string, 0, len(coeffs))
+	for name := range coeffs {
+		names = append(names, string(name))
+	}
+	sort.Strings(names)
+	type pair struct {
+		Name string
+		C    float64
+	}
+	fp := struct {
+		Coeffs     []pair
+		Intercept  float64
+		R2         float64
+		Iterations int
+		PerIter    []float64
+	}{Intercept: intercept, R2: f.Model.R2(), Iterations: f.Iterations, PerIter: pred.PerIterationSeconds}
+	for _, name := range names {
+		fp.Coeffs = append(fp.Coeffs, pair{Name: name, C: coeffs[features.Name(name)]})
+	}
+	return json.Marshal(fp)
+}
+
+// warmExtrapolate measures the cached-model path: Extrapolate on the full
+// graph, the operation every cache hit pays.
+func warmExtrapolate(f *core.Fitted, g *graph.Graph) (float64, error) {
+	const ops = 2000
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if _, err := f.Extrapolate(g, 0); err != nil {
+			return 0, err
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / ops, nil
+}
+
+// serviceEndToEnd drives a mixed workload through the HTTP service: three
+// distinct model keys (cold fits, answered concurrently on the shared fit
+// pool) and nine warm repeats of each, measuring end-to-end request
+// latency and the resulting cache hit ratio.
+func serviceEndToEnd(dataset string, scale float64) (*Scenario, error) {
+	svc := service.New(service.Config{})
+	server := httptest.NewServer(svc.Handler())
+	defer server.Close()
+
+	base := service.PredictRequest{
+		Dataset:        dataset,
+		Scale:          scale,
+		Algorithm:      "PR",
+		Ratio:          0.10,
+		TrainingRatios: trainingRatios,
+	}
+	var reqs []service.PredictRequest
+	for _, alg := range []string{"PR", "CC", "NH"} {
+		for rep := 0; rep < 10; rep++ {
+			r := base
+			r.Algorithm = alg
+			reqs = append(reqs, r)
+		}
+	}
+
+	// Four concurrent clients, first-error semantics — the same pool the
+	// fit pipeline uses.
+	start := time.Now()
+	clients := parallel.NewPool(4)
+	err := clients.ForEach(context.Background(), len(reqs),
+		func(_ context.Context, i int) error {
+			return postPredict(server.URL, reqs[i])
+		})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	st := svc.Stats()
+	hitRatio := st.HitRatio
+	return &Scenario{
+		Name:          "service_end_to_end",
+		Runs:          1,
+		NsPerOp:       float64(elapsed.Nanoseconds()) / float64(len(reqs)),
+		OpsPerS:       float64(len(reqs)) / elapsed.Seconds(),
+		CacheHitRatio: &hitRatio,
+		Requests:      len(reqs),
+	}, nil
+}
+
+func postPredict(url string, r service.PredictRequest) error {
+	var body bytes.Buffer
+	if err := json.NewEncoder(&body).Encode(r); err != nil {
+		return err
+	}
+	resp, err := http.Post(url+"/predict", "application/json", &body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var msg map[string]string
+		_ = json.NewDecoder(resp.Body).Decode(&msg)
+		return fmt.Errorf("POST /predict: status %d: %s", resp.StatusCode, msg["error"])
+	}
+	var pr service.PredictResponse
+	return json.NewDecoder(resp.Body).Decode(&pr)
+}
+
+func writeResults(path string, res *Results) error {
+	blob, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

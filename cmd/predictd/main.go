@@ -8,12 +8,14 @@
 //	predictd -addr :8080
 //	predictd -addr :8080 -history models.jsonl      # warm + persist cache
 //	predictd -max-models 128 -timeout 120s -workers 16
+//	predictd -fit-parallelism 8 -fit-timeout 2m     # cold-path budget
 //
 // API (JSON):
 //
 //	POST /predict        {"dataset":"Wiki","algorithm":"PR","ratio":0.1}
 //	POST /predict/batch  {"requests":[{...},{...}]}
 //	GET  /models
+//	GET  /stats
 //	GET  /healthz
 package main
 
@@ -43,6 +45,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "sample-cluster BSP workers (0 = default 8)")
 		seed      = flag.Uint64("seed", 0, "cost-oracle noise seed")
 		histFile  = flag.String("history", "", "JSON-lines file: warm the model cache at startup, persist it at shutdown")
+		fitPar    = flag.Int("fit-parallelism", 0, "shared fit-pool budget: sample pipelines running at once across all cold fits (0 = GOMAXPROCS)")
+		fitTO     = flag.Duration("fit-timeout", 0, "per-fit deadline, detached from request timeouts (0 = default 5m)")
 	)
 	flag.Parse()
 
@@ -52,6 +56,8 @@ func main() {
 		MaxGraphs:      *maxGraphs,
 		DefaultTimeout: *timeout,
 		MaxBatch:       *maxBatch,
+		FitParallelism: *fitPar,
+		FitTimeout:     *fitTO,
 		Cluster:        bsp.Config{Workers: *workers, Seed: *seed, Oracle: &oracle},
 	})
 

@@ -1,0 +1,28 @@
+// Package benchenv resolves the PREDICT_BENCH_SCALE environment variable
+// shared by cmd/bench and the root-package `go test -bench` benchmarks,
+// so the parse-and-validate rules cannot drift between the two harnesses.
+package benchenv
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+)
+
+// Scale returns the dataset scale factor from PREDICT_BENCH_SCALE, or
+// fallback when the variable is unset. Malformed values — anything that
+// is not a positive finite float — are an error, never a silent
+// fallback: a mistyped CI variable must not quietly measure the wrong
+// workload.
+func Scale(fallback float64) (float64, error) {
+	s := os.Getenv("PREDICT_BENCH_SCALE")
+	if s == "" {
+		return fallback, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("malformed PREDICT_BENCH_SCALE=%q: want a positive float", s)
+	}
+	return v, nil
+}

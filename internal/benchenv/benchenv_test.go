@@ -1,0 +1,31 @@
+package benchenv
+
+import "testing"
+
+func TestScale(t *testing.T) {
+	cases := []struct {
+		env     string
+		want    float64
+		wantErr bool
+	}{
+		{"", 0.15, false},
+		{"0.08", 0.08, false},
+		{"1", 1, false},
+		{"bogus", 0, true},
+		{"0", 0, true},
+		{"-0.1", 0, true},
+		{"NaN", 0, true},
+		{"+Inf", 0, true},
+	}
+	for _, c := range cases {
+		t.Setenv("PREDICT_BENCH_SCALE", c.env)
+		got, err := Scale(0.15)
+		if (err != nil) != c.wantErr {
+			t.Errorf("Scale with env %q: err = %v, wantErr %v", c.env, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("Scale with env %q = %v, want %v", c.env, got, c.want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"predict/internal/algorithms"
@@ -8,6 +9,7 @@ import (
 	"predict/internal/costmodel"
 	"predict/internal/features"
 	"predict/internal/graph"
+	"predict/internal/parallel"
 	"predict/internal/sampling"
 )
 
@@ -72,39 +74,107 @@ type Fitted struct {
 	SampleRun *algorithms.RunInfo
 }
 
+// sampleTask describes one sample+profile pipeline of a fit: the main
+// sample run (index 0) or one additional training-ratio run. Its seed is
+// fixed before execution starts, which is what makes the parallel fan-out
+// bit-identical to the sequential path.
+type sampleTask struct {
+	ratio float64
+	seed  uint64
+}
+
+// sampleOutcome is a completed sampleTask's artifacts.
+type sampleOutcome struct {
+	sample *sampling.Result
+	run    *algorithms.RunInfo
+}
+
 // Fit runs the expensive half of the pipeline for alg on g: sample the
 // graph, profile the transformed sample run (plus one run per additional
 // training ratio), and fit the cost model. The result can be cached and
 // extrapolated many times.
 func (p *Predictor) Fit(alg algorithms.Algorithm, g *graph.Graph) (*Fitted, error) {
-	// 1. Sample run input: structure-preserving sample of g.
-	sample, err := sampling.Sample(g, p.opts.Method, p.opts.Sampling)
-	if err != nil {
-		return nil, fmt.Errorf("core: sampling: %w", err)
+	return p.FitContext(context.Background(), alg, g)
+}
+
+// FitContext is Fit with cancellation: the per-ratio sample pipelines run
+// concurrently on Options.Pool (or a transient Options.Parallelism-sized
+// pool), and ctx cancels pipelines that have not started yet. Each
+// pipeline's randomness is fixed by its ratio index before execution
+// (sampling.DeriveSeed), so the fitted model's coefficients are
+// bit-identical at every parallelism level. Cancellation is observed
+// between pipeline stages, not inside a profiled run.
+func (p *Predictor) FitContext(ctx context.Context, alg algorithms.Algorithm, g *graph.Graph) (*Fitted, error) {
+	// Task 0 is the main sample run; the rest are the additional
+	// training-ratio runs in declaration order, each seeded from its
+	// index in Options.TrainingRatios.
+	tasks := []sampleTask{{ratio: p.opts.Sampling.Ratio, seed: p.opts.Sampling.Seed}}
+	for i, ratio := range p.opts.TrainingRatios {
+		if ratio == p.opts.Sampling.Ratio {
+			continue // the main sample run already contributes
+		}
+		tasks = append(tasks, sampleTask{
+			ratio: ratio,
+			seed:  sampling.DeriveSeed(p.opts.Sampling.Seed, uint64(i)),
+		})
 	}
 
-	// 2. Transform function: adjust convergence parameters to the sample.
-	runAlg := alg
-	if !p.opts.DisableTransform {
-		runAlg = alg.Transformed(sample.VertexRatio)
+	pool := p.opts.Pool
+	if pool == nil {
+		pool = parallel.NewPool(p.opts.Parallelism)
 	}
+	outcomes := make([]sampleOutcome, len(tasks))
+	err := pool.ForEach(ctx, len(tasks), func(taskCtx context.Context, i int) error {
+		t := tasks[i]
+		sOpts := p.opts.Sampling
+		sOpts.Ratio = t.ratio
+		sOpts.Seed = t.seed
 
-	// 3. Sample run with feature profiling.
-	sampleRun, err := runAlg.Run(sample.Graph, p.opts.BSP)
-	if err != nil {
-		return nil, fmt.Errorf("core: sample run: %w", err)
-	}
-
-	// 4. Cost model: train on the sample run, any additional-ratio sample
-	// runs, and any history.
-	iterFeats := features.FromProfile(sampleRun.Profile, p.opts.Mode)
-	training := append(append([]costmodel.TrainingRun(nil), p.opts.History...),
-		costmodel.TrainingRun{Source: "sample", Iters: iterFeats})
-	extra, err := p.trainingSampleRuns(alg, g)
+		// Sample run input: structure-preserving sample of g.
+		s, err := sampling.Sample(g, p.opts.Method, sOpts)
+		if err != nil {
+			if i == 0 {
+				return fmt.Errorf("core: sampling: %w", err)
+			}
+			return fmt.Errorf("core: training sample at ratio %v: %w", t.ratio, err)
+		}
+		// Cancellation boundary between the two pipeline stages: the
+		// profiled run is the expensive half of a pipeline, so a fit past
+		// its deadline stops here instead of pricing a doomed run.
+		if err := taskCtx.Err(); err != nil {
+			return err
+		}
+		// Transform function: adjust convergence parameters to the
+		// sample, then profile the transformed run.
+		runAlg := alg
+		if !p.opts.DisableTransform {
+			runAlg = alg.Transformed(s.VertexRatio)
+		}
+		ri, err := runAlg.Run(s.Graph, p.opts.BSP)
+		if err != nil {
+			if i == 0 {
+				return fmt.Errorf("core: sample run: %w", err)
+			}
+			return fmt.Errorf("core: training sample run at ratio %v: %w", t.ratio, err)
+		}
+		outcomes[i] = sampleOutcome{sample: s, run: ri}
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	training = append(training, extra...)
+	sample, sampleRun := outcomes[0].sample, outcomes[0].run
+
+	// Cost model: train on the sample run, the additional-ratio sample
+	// runs, and any history — assembled in the sequential path's order.
+	iterFeats := features.FromProfile(sampleRun.Profile, p.opts.Mode)
+	training := append(append([]costmodel.TrainingRun(nil), p.opts.History...),
+		costmodel.TrainingRun{Source: "sample", Iters: iterFeats})
+	for i := 1; i < len(tasks); i++ {
+		training = append(training, costmodel.FromProfile(
+			fmt.Sprintf("sample sr=%.2f", tasks[i].ratio),
+			outcomes[i].run.Profile, p.opts.Mode))
+	}
 	model, err := costmodel.Train(training, p.opts.CostModel)
 	if err != nil {
 		return nil, fmt.Errorf("core: training cost model: %w", err)

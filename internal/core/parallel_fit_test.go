@@ -1,0 +1,109 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"predict/internal/algorithms"
+	"predict/internal/parallel"
+)
+
+// TestFitParallelMatchesSequential is the parallel-fit invariant: at every
+// parallelism level the fitted model — coefficients, intercept, selected
+// features, R2 — and the downstream predictions are bit-identical to the
+// sequential path, because each sample pipeline's randomness is fixed by
+// its ratio index before execution. Three base seeds guard against a
+// lucky collision at one seed.
+func TestFitParallelMatchesSequential(t *testing.T) {
+	g := testGraphBA()
+	pr := algorithms.NewPageRank()
+	pr.Tau = algorithms.TauForTolerance(0.001, g.NumVertices())
+
+	for _, seed := range []uint64{3, 11, 77} {
+		fitAt := func(parallelism int) (coeffs map[string]float64, intercept float64, iters int, perIter []float64) {
+			t.Helper()
+			opts := testOptions(0.1)
+			opts.Sampling.Seed = seed
+			opts.Parallelism = parallelism
+			fitted, err := New(opts).Fit(pr, g)
+			if err != nil {
+				t.Fatalf("seed %d parallelism %d: Fit: %v", seed, parallelism, err)
+			}
+			pred, err := fitted.Extrapolate(g, 0)
+			if err != nil {
+				t.Fatalf("seed %d parallelism %d: Extrapolate: %v", seed, parallelism, err)
+			}
+			raw, ic := fitted.Model.Coefficients()
+			coeffs = make(map[string]float64, len(raw))
+			for name, c := range raw {
+				coeffs[string(name)] = c
+			}
+			return coeffs, ic, fitted.Iterations, pred.PerIterationSeconds
+		}
+
+		seqC, seqI, seqIters, seqPred := fitAt(1)
+		for _, parallelism := range []int{2, 4} {
+			parC, parI, parIters, parPred := fitAt(parallelism)
+			if !reflect.DeepEqual(seqC, parC) {
+				t.Errorf("seed %d: coefficients diverge at parallelism %d:\nseq %v\npar %v",
+					seed, parallelism, seqC, parC)
+			}
+			if seqI != parI {
+				t.Errorf("seed %d: intercept diverges at parallelism %d: %v vs %v",
+					seed, parallelism, seqI, parI)
+			}
+			if seqIters != parIters {
+				t.Errorf("seed %d: iteration count diverges at parallelism %d: %d vs %d",
+					seed, parallelism, seqIters, parIters)
+			}
+			if !reflect.DeepEqual(seqPred, parPred) {
+				t.Errorf("seed %d: per-iteration predictions diverge at parallelism %d",
+					seed, parallelism)
+			}
+		}
+	}
+}
+
+// TestFitSharedPool exercises Options.Pool, the path the service uses:
+// two predictors sharing one pool must produce the same model as private
+// pools.
+func TestFitSharedPool(t *testing.T) {
+	g := testGraphBA()
+	pr := algorithms.NewPageRank()
+	pr.Tau = algorithms.TauForTolerance(0.001, g.NumVertices())
+
+	private := testOptions(0.1)
+	private.Parallelism = 1
+	want, err := New(private).Fit(pr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	shared := testOptions(0.1)
+	shared.Pool = parallel.NewPool(2)
+	got, err := New(shared).Fit(pr, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantC, wantI := want.Model.Coefficients()
+	gotC, gotI := got.Model.Coefficients()
+	if !reflect.DeepEqual(wantC, gotC) || wantI != gotI {
+		t.Errorf("shared-pool fit diverges: %v/%v vs %v/%v", gotC, gotI, wantC, wantI)
+	}
+}
+
+// TestFitContextCancelled verifies a cancelled context aborts the fit.
+func TestFitContextCancelled(t *testing.T) {
+	g := testGraphBA()
+	pr := algorithms.NewPageRank()
+	pr.Tau = algorithms.TauForTolerance(0.001, g.NumVertices())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := New(testOptions(0.1)).FitContext(ctx, pr, g)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("FitContext on cancelled ctx = %v, want context.Canceled", err)
+	}
+}

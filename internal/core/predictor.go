@@ -5,13 +5,12 @@
 package core
 
 import (
-	"fmt"
-
 	"predict/internal/algorithms"
 	"predict/internal/bsp"
 	"predict/internal/costmodel"
 	"predict/internal/features"
 	"predict/internal/graph"
+	"predict/internal/parallel"
 	"predict/internal/sampling"
 )
 
@@ -41,6 +40,17 @@ type Options struct {
 	// scales give the regression the feature range a single run of a
 	// constant-per-iteration algorithm cannot provide.
 	TrainingRatios []float64
+	// Parallelism bounds how many sample+profile pipelines Fit runs
+	// concurrently (the main sample run plus one per training ratio).
+	// Zero selects GOMAXPROCS; 1 selects the sequential path. Any value
+	// yields bit-identical models: every run's randomness derives from
+	// its ratio index (sampling.DeriveSeed), never from execution order.
+	Parallelism int
+	// Pool optionally supplies a shared worker pool for the sample runs,
+	// so many predictors (e.g. a service's concurrent cold fits) can
+	// share one parallelism budget. When nil, Fit uses a transient pool
+	// of Parallelism slots.
+	Pool *parallel.Pool
 	// DisableTransform skips the transform function (ablation: the §1.1
 	// example shows why this breaks iteration invariants).
 	DisableTransform bool
@@ -122,36 +132,6 @@ func (p *Prediction) SampleEdgeRatio() float64 {
 		return 0
 	}
 	return p.Sample.EdgeRatio
-}
-
-// trainingSampleRuns executes sample runs at each additional training
-// ratio (skipping the main prediction ratio) and converts them into
-// training data.
-func (p *Predictor) trainingSampleRuns(alg algorithms.Algorithm, g *graph.Graph) ([]costmodel.TrainingRun, error) {
-	var out []costmodel.TrainingRun
-	for i, ratio := range p.opts.TrainingRatios {
-		if ratio == p.opts.Sampling.Ratio {
-			continue // the main sample run already contributes
-		}
-		sOpts := p.opts.Sampling
-		sOpts.Ratio = ratio
-		sOpts.Seed = p.opts.Sampling.Seed + uint64(i) + 1
-		s, err := sampling.Sample(g, p.opts.Method, sOpts)
-		if err != nil {
-			return nil, fmt.Errorf("core: training sample at ratio %v: %w", ratio, err)
-		}
-		runAlg := alg
-		if !p.opts.DisableTransform {
-			runAlg = alg.Transformed(s.VertexRatio)
-		}
-		ri, err := runAlg.Run(s.Graph, p.opts.BSP)
-		if err != nil {
-			return nil, fmt.Errorf("core: training sample run at ratio %v: %w", ratio, err)
-		}
-		out = append(out, costmodel.FromProfile(
-			fmt.Sprintf("sample sr=%.2f", ratio), ri.Profile, p.opts.Mode))
-	}
-	return out, nil
 }
 
 // Evaluation compares a prediction against a profiled actual run.

@@ -1,0 +1,132 @@
+// Package parallel provides the bounded worker pool shared by the fit
+// pipeline and the prediction service. A Pool caps how many expensive
+// tasks — sample+profile pipelines, mostly — run at once, propagates the
+// first error, and honors context cancellation, while exposing depth
+// counters for the service's /stats endpoint.
+//
+// Pools carry no task state of their own: determinism is the caller's
+// property. The fit pipeline keeps it by deriving every task's RNG seed
+// from the task's index (sampling.DeriveSeed), never from execution
+// order, so a Pool of any size produces bit-identical results.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded-concurrency executor. The zero value is not usable;
+// construct with NewPool. A Pool may be shared by many concurrent ForEach
+// calls — the bound then applies across all of them, which is how the
+// prediction service keeps N concurrent cold fits from launching
+// N*len(TrainingRatios) sample pipelines at once.
+type Pool struct {
+	size     int
+	sem      chan struct{}
+	inFlight atomic.Int64
+	waiting  atomic.Int64
+}
+
+// NewPool returns a pool running at most size tasks concurrently.
+// A non-positive size selects GOMAXPROCS: sample pipelines are CPU-bound,
+// so more slots than processors only adds scheduling churn.
+func NewPool(size int) *Pool {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{size: size, sem: make(chan struct{}, size)}
+}
+
+// Size reports the pool's concurrency bound.
+func (p *Pool) Size() int { return p.size }
+
+// InFlight reports how many tasks are executing right now.
+func (p *Pool) InFlight() int64 { return p.inFlight.Load() }
+
+// Waiting reports how many tasks have been submitted via ForEach but not
+// yet started executing — the pool depth a saturated service shows on
+// /stats. Every task of every in-progress ForEach counts, so ten 4-task
+// calls on a full pool report a backlog of ~40, not 10.
+func (p *Pool) Waiting() int64 { return p.waiting.Load() }
+
+// ForEach runs fn(ctx, i) for every i in [0, n) on the pool and waits for
+// completion. Tasks start in index order (interleaved with other ForEach
+// calls sharing the pool) and at most Size run at once.
+//
+// The first task error cancels the ctx passed to running tasks and stops
+// unstarted tasks from launching; already-running tasks finish before
+// ForEach returns that first error. If ctx is cancelled externally,
+// ForEach stops launching tasks and returns ctx's error. fn must write
+// its result into an index-addressed slot (results[i]) rather than
+// append, so output order never depends on scheduling.
+func (p *Pool) ForEach(ctx context.Context, n int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	taskCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// All n tasks count as waiting up front, so Waiting() reports the
+	// real backlog behind a saturated pool; each task leaves the count
+	// when it starts, and tasks abandoned by cancellation leave it on
+	// exit.
+	p.waiting.Add(int64(n))
+	started := 0
+	defer func() { p.waiting.Add(int64(started - n)) }()
+
+	var (
+		wg       sync.WaitGroup
+		once     sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		once.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+
+	for i := 0; i < n && taskCtx.Err() == nil; i++ {
+		// Acquire a slot before spawning, so a cancelled ForEach stops
+		// cheaply instead of parking n goroutines on the semaphore.
+		select {
+		case p.sem <- struct{}{}:
+		case <-taskCtx.Done():
+			i = n
+			continue
+		}
+		// Re-check after acquiring: a failing task cancels taskCtx before
+		// releasing its slot, so the select above can win the semaphore
+		// case and the cancellation case simultaneously.
+		if taskCtx.Err() != nil {
+			<-p.sem
+			break
+		}
+		started++
+		p.waiting.Add(-1)
+		p.inFlight.Add(1)
+		wg.Add(1)
+		go func(i int) {
+			defer func() {
+				p.inFlight.Add(-1)
+				<-p.sem
+				wg.Done()
+			}()
+			if err := fn(taskCtx, i); err != nil {
+				fail(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	if started == n {
+		// Every task ran to completion: a cancellation that raced the
+		// last task must not discard fully-computed work.
+		return nil
+	}
+	return ctx.Err()
+}

@@ -1,0 +1,189 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsAllTasks(t *testing.T) {
+	p := NewPool(3)
+	var ran [16]atomic.Bool
+	err := p.ForEach(context.Background(), len(ran), func(_ context.Context, i int) error {
+		ran[i].Store(true)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	for i := range ran {
+		if !ran[i].Load() {
+			t.Errorf("task %d never ran", i)
+		}
+	}
+}
+
+func TestForEachRespectsBound(t *testing.T) {
+	const bound = 2
+	p := NewPool(bound)
+	var cur, peak atomic.Int64
+	err := p.ForEach(context.Background(), 12, func(_ context.Context, i int) error {
+		n := cur.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		cur.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	if got := peak.Load(); got > bound {
+		t.Errorf("peak concurrency %d exceeds bound %d", got, bound)
+	}
+}
+
+func TestForEachPropagatesFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	p := NewPool(1) // sequential: task 3 fails, tasks 4+ must not start
+	var started atomic.Int64
+	err := p.ForEach(context.Background(), 10, func(_ context.Context, i int) error {
+		started.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := started.Load(); n != 4 {
+		t.Errorf("started %d tasks after failure at index 3, want 4", n)
+	}
+}
+
+func TestForEachErrorCancelsRunningTasks(t *testing.T) {
+	boom := errors.New("boom")
+	p := NewPool(2)
+	err := p.ForEach(context.Background(), 2, func(ctx context.Context, i int) error {
+		if i == 0 {
+			return boom
+		}
+		select {
+		case <-ctx.Done():
+			return nil // cancellation observed: the expected path
+		case <-time.After(5 * time.Second):
+			return errors.New("task never saw cancellation")
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestForEachHonorsContextCancellation(t *testing.T) {
+	p := NewPool(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	err := p.ForEach(ctx, 100, func(_ context.Context, i int) error {
+		if started.Add(1) == 2 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := started.Load(); n >= 100 {
+		t.Errorf("cancellation did not stop task launches (started %d)", n)
+	}
+}
+
+// TestWaitingCountsFullBacklog pins the Waiting() semantics the /stats
+// endpoint relies on: every submitted-but-unstarted task counts, not
+// just the one submission currently blocked on the semaphore.
+func TestWaitingCountsFullBacklog(t *testing.T) {
+	p := NewPool(1)
+	release := make(chan struct{})
+	running := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		done <- p.ForEach(context.Background(), 5, func(_ context.Context, i int) error {
+			if i == 0 {
+				close(running)
+				<-release
+			}
+			return nil
+		})
+	}()
+	<-running
+	// Task 0 occupies the single slot; tasks 1-4 are the backlog.
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Waiting() != 4 {
+		if time.Now().After(deadline) {
+			t.Fatalf("Waiting() = %d, want the full backlog 4", p.Waiting())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := p.InFlight(); got != 1 {
+		t.Errorf("InFlight() = %d, want 1", got)
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	if got := p.Waiting(); got != 0 {
+		t.Errorf("Waiting() after completion = %d, want 0", got)
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := NewPool(4).ForEach(context.Background(), 0, nil); err != nil {
+		t.Fatalf("ForEach(0 tasks) = %v, want nil", err)
+	}
+}
+
+func TestNewPoolDefaultsToGOMAXPROCS(t *testing.T) {
+	if NewPool(0).Size() < 1 {
+		t.Fatal("default pool size < 1")
+	}
+	if got := NewPool(7).Size(); got != 7 {
+		t.Fatalf("Size() = %d, want 7", got)
+	}
+}
+
+func TestPoolSharedAcrossForEachCalls(t *testing.T) {
+	const bound = 2
+	p := NewPool(bound)
+	var cur, peak atomic.Int64
+	task := func(_ context.Context, i int) error {
+		n := cur.Add(1)
+		for {
+			old := peak.Load()
+			if n <= old || peak.CompareAndSwap(old, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		cur.Add(-1)
+		return nil
+	}
+	done := make(chan error, 2)
+	for k := 0; k < 2; k++ {
+		go func() { done <- p.ForEach(context.Background(), 6, task) }()
+	}
+	for k := 0; k < 2; k++ {
+		if err := <-done; err != nil {
+			t.Fatalf("ForEach: %v", err)
+		}
+	}
+	if got := peak.Load(); got > bound {
+		t.Errorf("peak concurrency %d across shared ForEach calls exceeds bound %d", got, bound)
+	}
+}

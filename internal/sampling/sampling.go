@@ -74,6 +74,19 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// DeriveSeed maps a base sampling seed and a stream index to the seed of
+// the stream-th auxiliary sampling run (the fit pipeline's per-training-
+// ratio runs). The derivation depends only on base and stream — never on
+// execution order — which is what makes the parallel and sequential fit
+// paths draw bit-identical samples. The scheme itself is the simple
+// base+stream+1 the sequential pipeline has always used: Sample feeds
+// seeds through PCG's own mixing (rand.NewPCG with two derived words),
+// so adjacent seeds are already decorrelated, and keeping the scheme
+// keeps every committed EXPERIMENTS.md number reproducible.
+func DeriveSeed(base, stream uint64) uint64 {
+	return base + stream + 1
+}
+
 // Result is a sample: the induced subgraph, the vertex mapping back to the
 // original graph, and the achieved ratios.
 type Result struct {

@@ -38,12 +38,14 @@ type BatchResponse struct {
 //	POST /predict        PredictRequest  -> PredictResponse
 //	POST /predict/batch  BatchRequest    -> BatchResponse
 //	GET  /models         -> {"models": [ModelInfo...]}
+//	GET  /stats          -> Stats (pool depth, in-flight fits, hit ratio)
 //	GET  /healthz        -> {"status": "ok", ...Stats}
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/predict/batch", s.handleBatch)
 	mux.HandleFunc("/models", s.handleModels)
+	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -147,6 +149,21 @@ func (s *Service) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"models": models,
 		"count":  len(models),
+	})
+}
+
+// handleStats exposes the service's operational counters: cache hit
+// ratio, in-flight fits, and the shared fit pool's depth — the numbers
+// that tell an operator whether FitParallelism is the bottleneck.
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds": s.Uptime().Seconds(),
+		"stats":          st,
 	})
 }
 

@@ -21,6 +21,7 @@
 //	POST /predict        one PredictRequest  -> PredictResponse
 //	POST /predict/batch  BatchRequest        -> BatchResponse (concurrent)
 //	GET  /models         cached model inventory
+//	GET  /stats          cache hit ratio, in-flight fits, fit-pool depth
 //	GET  /healthz        liveness + cache statistics
 //
 // Cache entries persist through internal/history ("model" records):
@@ -31,6 +32,7 @@ package service
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
@@ -48,6 +50,7 @@ import (
 	"predict/internal/gen"
 	"predict/internal/graph"
 	"predict/internal/history"
+	"predict/internal/parallel"
 	"predict/internal/sampling"
 )
 
@@ -71,6 +74,16 @@ type Config struct {
 	// one batch of distinct cold requests cannot launch MaxBatch sample
 	// pipelines simultaneously; zero selects GOMAXPROCS.
 	BatchParallelism int
+	// FitParallelism budgets the shared fit pool: across all concurrent
+	// cold-path fits, at most this many sample+profile pipelines execute
+	// at once. Concurrent cache misses for different keys previously
+	// serialized on fit compute; the shared pool lets them interleave
+	// without letting them multiply. Zero selects GOMAXPROCS.
+	FitParallelism int
+	// FitTimeout is the per-fit deadline. Fits run detached from request
+	// contexts (an abandoned request still warms the cache), so this is
+	// the only bound on a cold path that cannot finish; zero selects 5m.
+	FitTimeout time.Duration
 	// Cluster is the sample-run execution environment. The zero value
 	// selects 8 workers priced by cluster.DefaultOracle() — the repo's
 	// stand-in for the paper's testbed.
@@ -93,6 +106,12 @@ func (c Config) withDefaults() Config {
 	if c.BatchParallelism <= 0 {
 		c.BatchParallelism = runtime.GOMAXPROCS(0)
 	}
+	if c.FitParallelism <= 0 {
+		c.FitParallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.FitTimeout <= 0 {
+		c.FitTimeout = 5 * time.Minute
+	}
 	if c.Cluster.Oracle == nil {
 		o := cluster.DefaultOracle()
 		c.Cluster.Oracle = &o
@@ -106,23 +125,29 @@ func (c Config) withDefaults() Config {
 // Service answers prediction requests from cached graphs and cost models.
 // All methods are safe for concurrent use.
 type Service struct {
-	cfg    Config
-	models *cache[*core.Fitted]
-	graphs *cache[*graph.Graph]
-	start  time.Time
+	cfg     Config
+	models  *cache[*core.Fitted]
+	graphs  *cache[*graph.Graph]
+	fitPool *parallel.Pool
+	start   time.Time
 
-	// fits counts cold-path model fits (for tests and /healthz).
-	fits atomic.Int64
+	// fits counts cold-path model fits (for tests and /healthz);
+	// fitsInFlight tracks fits currently executing; fitTimeouts counts
+	// fits killed by the per-fit deadline.
+	fits         atomic.Int64
+	fitsInFlight atomic.Int64
+	fitTimeouts  atomic.Int64
 }
 
 // New returns a Service with the given configuration.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	return &Service{
-		cfg:    cfg,
-		models: newCache[*core.Fitted](cfg.MaxModels),
-		graphs: newCache[*graph.Graph](cfg.MaxGraphs),
-		start:  time.Now(),
+		cfg:     cfg,
+		models:  newCache[*core.Fitted](cfg.MaxModels),
+		graphs:  newCache[*graph.Graph](cfg.MaxGraphs),
+		fitPool: parallel.NewPool(cfg.FitParallelism),
+		start:   time.Now(),
 	}
 }
 
@@ -373,7 +398,13 @@ func (s *Service) Predict(ctx context.Context, req PredictRequest) (*PredictResp
 	return resp, nil
 }
 
-// fit runs the expensive pipeline half for a request (cold path).
+// fit runs the expensive pipeline half for a request (cold path). Its
+// sample pipelines execute on the service's shared fit pool, so N
+// concurrent cold fits interleave within one parallelism budget instead
+// of serializing behind each other (or stampeding the host). Each fit
+// gets its own FitTimeout deadline, detached from request contexts: an
+// abandoned request still warms the cache, but a fit that cannot finish
+// is bounded.
 func (s *Service) fit(req PredictRequest, g *graph.Graph) (*core.Fitted, error) {
 	alg, err := algorithmFor(req.Algorithm, req.Epsilon, g.NumVertices())
 	if err != nil {
@@ -384,9 +415,20 @@ func (s *Service) fit(req PredictRequest, g *graph.Graph) (*core.Fitted, error) 
 		Sampling:       sampling.Options{Ratio: req.Ratio, Seed: req.SampleSeed},
 		BSP:            s.cfg.Cluster,
 		TrainingRatios: req.TrainingRatios,
+		Pool:           s.fitPool,
 	})
 	s.fits.Add(1)
-	return p.Fit(alg, g)
+	s.fitsInFlight.Add(1)
+	defer s.fitsInFlight.Add(-1)
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.FitTimeout)
+	defer cancel()
+	fitted, err := p.FitContext(ctx, alg, g)
+	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+		s.fitTimeouts.Add(1)
+		return nil, fmt.Errorf("service: fit exceeded the %v per-fit deadline: %w",
+			s.cfg.FitTimeout, err)
+	}
+	return fitted, err
 }
 
 // ModelInfo describes one cached model for the /models inventory.
@@ -421,27 +463,50 @@ func (s *Service) Models() []ModelInfo {
 	return out
 }
 
-// Stats are the service's cache counters.
+// Stats are the service's cache, fit and pool counters — the /stats
+// payload an operator watches to size FitParallelism.
 type Stats struct {
 	Models    int   `json:"models"`
 	Graphs    int   `json:"graphs"`
 	Hits      int64 `json:"hits"`
 	Misses    int64 `json:"misses"`
 	Evictions int64 `json:"evictions"`
-	Fits      int64 `json:"fits"`
+	// HitRatio is Hits / (Hits + Misses); zero before any lookup.
+	HitRatio float64 `json:"hit_ratio"`
+	// Fits counts cold-path fits ever started; InFlightFits counts fits
+	// executing now; FitTimeouts counts fits killed by the per-fit
+	// deadline.
+	Fits         int64 `json:"fits"`
+	InFlightFits int64 `json:"in_flight_fits"`
+	FitTimeouts  int64 `json:"fit_timeouts"`
+	// PoolSize is the fit pool's parallelism budget; PoolInFlight the
+	// sample pipelines executing now; PoolDepth the pipelines queued
+	// waiting for a slot.
+	PoolSize     int   `json:"pool_size"`
+	PoolInFlight int64 `json:"pool_in_flight"`
+	PoolDepth    int64 `json:"pool_depth"`
 }
 
-// Stats returns a snapshot of the cache counters.
+// Stats returns a snapshot of the cache, fit and pool counters.
 func (s *Service) Stats() Stats {
 	h, m, ev := s.models.counters()
-	return Stats{
-		Models:    s.models.len(),
-		Graphs:    s.graphs.len(),
-		Hits:      h,
-		Misses:    m,
-		Evictions: ev,
-		Fits:      s.fits.Load(),
+	st := Stats{
+		Models:       s.models.len(),
+		Graphs:       s.graphs.len(),
+		Hits:         h,
+		Misses:       m,
+		Evictions:    ev,
+		Fits:         s.fits.Load(),
+		InFlightFits: s.fitsInFlight.Load(),
+		FitTimeouts:  s.fitTimeouts.Load(),
+		PoolSize:     s.fitPool.Size(),
+		PoolInFlight: s.fitPool.InFlight(),
+		PoolDepth:    s.fitPool.Waiting(),
 	}
+	if total := h + m; total > 0 {
+		st.HitRatio = float64(h) / float64(total)
+	}
+	return st
 }
 
 // Uptime reports how long the service has been running.

@@ -1,0 +1,92 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestStatsEndpoint drives one cold and one warm request through the
+// service and checks the /stats payload: hit ratio, fit counters, and the
+// shared pool's configuration.
+func TestStatsEndpoint(t *testing.T) {
+	svc, server := newTestServer(t, Config{FitParallelism: 3})
+	ctx := context.Background()
+
+	if _, err := svc.Predict(ctx, testRequest()); err != nil {
+		t.Fatalf("cold predict: %v", err)
+	}
+	if _, err := svc.Predict(ctx, testRequest()); err != nil {
+		t.Fatalf("warm predict: %v", err)
+	}
+
+	resp, err := http.Get(server.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats = %d, want 200", resp.StatusCode)
+	}
+	var body struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Stats         Stats   `json:"stats"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+
+	st := body.Stats
+	if st.Fits != 1 {
+		t.Errorf("fits = %d, want 1", st.Fits)
+	}
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", st.Hits, st.Misses)
+	}
+	if st.HitRatio != 0.5 {
+		t.Errorf("hit_ratio = %v, want 0.5", st.HitRatio)
+	}
+	if st.PoolSize != 3 {
+		t.Errorf("pool_size = %d, want the configured FitParallelism 3", st.PoolSize)
+	}
+	if st.InFlightFits != 0 || st.PoolInFlight != 0 || st.PoolDepth != 0 {
+		t.Errorf("idle service reports in-flight work: %+v", st)
+	}
+	if st.FitTimeouts != 0 {
+		t.Errorf("fit_timeouts = %d, want 0", st.FitTimeouts)
+	}
+
+	if code := mustStatus(t, http.MethodPost, server.URL+"/stats"); code != http.StatusMethodNotAllowed {
+		t.Errorf("POST /stats = %d, want 405", code)
+	}
+}
+
+// TestFitTimeoutBoundsColdPath configures an unmeetable per-fit deadline
+// and verifies the cold path fails with the deadline error instead of
+// hanging, and that the timeout counter records it.
+func TestFitTimeoutBoundsColdPath(t *testing.T) {
+	svc := New(Config{FitTimeout: time.Nanosecond})
+	_, err := svc.Predict(context.Background(), testRequest())
+	if err == nil {
+		t.Fatal("predict under 1ns fit deadline succeeded")
+	}
+	if st := svc.Stats(); st.FitTimeouts != 1 {
+		t.Errorf("fit_timeouts = %d, want 1", st.FitTimeouts)
+	}
+}
+
+func mustStatus(t *testing.T, method, url string) int {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
