@@ -9,12 +9,19 @@
 //	                      speedup vs sequential and a coefficient-identity
 //	                      check (the parallel fit must be bit-identical)
 //	warm_extrapolate      Fitted.Extrapolate on the cached model
+//	engine_superstep      steady-state cost of one BSP superstep (setup
+//	                      subtracted by differencing run lengths)
 //	service_end_to_end    a mixed cold/warm workload over the HTTP service
+//
+// Every scenario also records allocs_per_op and bytes_per_op from
+// runtime.MemStats deltas, so the perf trajectory tracks allocation
+// regressions alongside time.
 //
 // Usage:
 //
 //	bench                                  # report only
 //	bench -min-speedup 1.5                 # CI gate: exit 1 below 1.5x
+//	bench -max-superstep-allocs 32         # CI gate: engine allocs/superstep
 //	PREDICT_BENCH_SCALE=0.08 bench         # smaller dataset stand-ins
 //
 // Timings vary with the host; everything else — samples, models,
@@ -64,6 +71,12 @@ type Scenario struct {
 	Runs    int     `json:"runs"`
 	NsPerOp float64 `json:"ns_per_op"`
 	OpsPerS float64 `json:"ops_per_sec"`
+	// AllocsPerOp/BytesPerOp are runtime.MemStats deltas (Mallocs and
+	// TotalAlloc) per operation, averaged over the measured repetitions —
+	// the allocation trajectory the perf gate tracks. On engine_superstep
+	// they are per-superstep steady-state figures with setup subtracted.
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
 	// SpeedupVsSequential is set on cold_fit_parallel.
 	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
 	// CoefficientsMatch is set on cold_fit_parallel: whether the parallel
@@ -94,14 +107,38 @@ func main() {
 		out        = flag.String("out", "BENCH_results.json", "output artifact path")
 		dataset    = flag.String("dataset", "Wiki", "dataset stand-in prefix (LJ, Wiki, TW, UK)")
 		scale      = flag.Float64("scale", 0, "dataset scale factor (0 = $PREDICT_BENCH_SCALE or 0.1)")
-		runs       = flag.Int("runs", 3, "repetitions per cold-fit scenario (best is reported)")
+		runs       = flag.Int("runs", 3, "repetitions per cold-fit and engine_superstep scenario (best time, mean allocs)")
 		minSpeedup = flag.Float64("min-speedup", 0, "fail (exit 1) if parallel cold-fit speedup is below this (0 disables the gate)")
+		maxSSAlloc = flag.Float64("max-superstep-allocs", 0, "fail (exit 1) if steady-state engine allocs per superstep exceed this (0 disables the gate)")
 	)
 	flag.Parse()
-	if err := run(*out, *dataset, *scale, *runs, *minSpeedup); err != nil {
+	if err := run(*out, *dataset, *scale, *runs, *minSpeedup, *maxSSAlloc); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// measureOp runs op `runs` times and returns the best wall time plus the
+// mean allocation deltas per run (runtime.MemStats Mallocs/TotalAlloc are
+// monotonic counters, so the deltas are exact regardless of GC).
+func measureOp(runs int, op func() error) (bestNs, allocsPerOp, bytesPerOp float64, err error) {
+	bestNs = math.MaxFloat64
+	var ms0, ms1 runtime.MemStats
+	for r := 0; r < runs; r++ {
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		if err := op(); err != nil {
+			return 0, 0, 0, err
+		}
+		ns := float64(time.Since(start).Nanoseconds())
+		runtime.ReadMemStats(&ms1)
+		if ns < bestNs {
+			bestNs = ns
+		}
+		allocsPerOp += float64(ms1.Mallocs - ms0.Mallocs)
+		bytesPerOp += float64(ms1.TotalAlloc - ms0.TotalAlloc)
+	}
+	return bestNs, allocsPerOp / float64(runs), bytesPerOp / float64(runs), nil
 }
 
 // benchScale resolves the dataset scale: the -scale flag, else the
@@ -118,7 +155,7 @@ func benchScale(flagScale float64) (float64, error) {
 	return benchenv.Scale(0.1)
 }
 
-func run(out, dataset string, flagScale float64, runs int, minSpeedup float64) error {
+func run(out, dataset string, flagScale float64, runs int, minSpeedup, maxSSAlloc float64) error {
 	scale, err := benchScale(flagScale)
 	if err != nil {
 		return err
@@ -144,32 +181,39 @@ func run(out, dataset string, flagScale float64, runs int, minSpeedup float64) e
 		TrainingRatios: trainingRatios,
 	}
 
-	seqNs, seqFit, err := coldFit(g, 1, runs)
+	seqScn, seqFit, err := coldFit(g, 1, runs)
 	if err != nil {
 		return fmt.Errorf("cold_fit_sequential: %w", err)
 	}
-	res.add(Scenario{Name: "cold_fit_sequential", Runs: runs, NsPerOp: seqNs, OpsPerS: opsPerS(seqNs)})
+	seqScn.Name = "cold_fit_sequential"
+	res.add(*seqScn)
 
-	parNs, parFit, err := coldFit(g, 0, runs)
+	parScn, parFit, err := coldFit(g, 0, runs)
 	if err != nil {
 		return fmt.Errorf("cold_fit_parallel: %w", err)
 	}
-	speedup := seqNs / parNs
+	speedup := seqScn.NsPerOp / parScn.NsPerOp
 	match, err := sameModel(seqFit, parFit, g)
 	if err != nil {
 		return err
 	}
 	res.ColdFitSpeedup = speedup
-	res.add(Scenario{
-		Name: "cold_fit_parallel", Runs: runs, NsPerOp: parNs, OpsPerS: opsPerS(parNs),
-		SpeedupVsSequential: speedup, CoefficientsMatch: &match,
-	})
+	parScn.Name = "cold_fit_parallel"
+	parScn.SpeedupVsSequential = speedup
+	parScn.CoefficientsMatch = &match
+	res.add(*parScn)
 
-	warmNs, err := warmExtrapolate(seqFit, g)
+	warmScn, err := warmExtrapolate(seqFit, g)
 	if err != nil {
 		return fmt.Errorf("warm_extrapolate: %w", err)
 	}
-	res.add(Scenario{Name: "warm_extrapolate", Runs: 1, NsPerOp: warmNs, OpsPerS: opsPerS(warmNs)})
+	res.add(*warmScn)
+
+	ssScn, err := engineSuperstep(g, runs)
+	if err != nil {
+		return fmt.Errorf("engine_superstep: %w", err)
+	}
+	res.add(*ssScn)
 
 	svcScenario, err := serviceEndToEnd(dataset, scale)
 	if err != nil {
@@ -180,8 +224,8 @@ func run(out, dataset string, flagScale float64, runs int, minSpeedup float64) e
 	if err := writeResults(out, res); err != nil {
 		return err
 	}
-	fmt.Printf("bench: wrote %s (cold-fit speedup %.2fx, coefficients match %v)\n",
-		out, speedup, match)
+	fmt.Printf("bench: wrote %s (cold-fit speedup %.2fx, coefficients match %v, superstep allocs/op %.1f)\n",
+		out, speedup, match, ssScn.AllocsPerOp)
 
 	if !match {
 		return fmt.Errorf("parallel fit is not bit-identical to the sequential baseline")
@@ -189,6 +233,10 @@ func run(out, dataset string, flagScale float64, runs int, minSpeedup float64) e
 	if minSpeedup > 0 && speedup < minSpeedup {
 		return fmt.Errorf("cold-fit speedup %.2fx below the %.2fx gate (gomaxprocs=%d)",
 			speedup, minSpeedup, runtime.GOMAXPROCS(0))
+	}
+	if maxSSAlloc > 0 && ssScn.AllocsPerOp > maxSSAlloc {
+		return fmt.Errorf("engine steady state allocates %.1f per superstep, above the %.1f gate",
+			ssScn.AllocsPerOp, maxSSAlloc)
 	}
 	return nil
 }
@@ -234,24 +282,23 @@ func benchPredictor(parallelism, n int) (*core.Predictor, algorithms.Algorithm) 
 }
 
 // coldFit measures Predictor.Fit at the given parallelism (1 = the
-// sequential baseline, 0 = GOMAXPROCS) and returns the best ns/op plus
-// the last fitted model for the identity check.
-func coldFit(g *graph.Graph, parallelism, runs int) (float64, *core.Fitted, error) {
+// sequential baseline, 0 = GOMAXPROCS) and returns the scenario (name
+// filled by the caller) plus the last fitted model for the identity check.
+func coldFit(g *graph.Graph, parallelism, runs int) (*Scenario, *core.Fitted, error) {
 	p, alg := benchPredictor(parallelism, g.NumVertices())
-	var err error
-	best := math.MaxFloat64
 	var fitted *core.Fitted
-	for r := 0; r < runs; r++ {
-		start := time.Now()
-		fitted, err = p.Fit(alg, g)
-		if err != nil {
-			return 0, nil, err
-		}
-		if ns := float64(time.Since(start).Nanoseconds()); ns < best {
-			best = ns
-		}
+	ns, allocs, bytes, err := measureOp(runs, func() error {
+		f, err := p.Fit(alg, g)
+		fitted = f
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
 	}
-	return best, fitted, nil
+	return &Scenario{
+		Runs: runs, NsPerOp: ns, OpsPerS: opsPerS(ns),
+		AllocsPerOp: allocs, BytesPerOp: bytes,
+	}, fitted, nil
 }
 
 // sameModel reports whether two fits produced bit-identical models and
@@ -300,15 +347,90 @@ func modelFingerprint(f *core.Fitted, g *graph.Graph) ([]byte, error) {
 
 // warmExtrapolate measures the cached-model path: Extrapolate on the full
 // graph, the operation every cache hit pays.
-func warmExtrapolate(f *core.Fitted, g *graph.Graph) (float64, error) {
+func warmExtrapolate(f *core.Fitted, g *graph.Graph) (*Scenario, error) {
 	const ops = 2000
-	start := time.Now()
-	for i := 0; i < ops; i++ {
-		if _, err := f.Extrapolate(g, 0); err != nil {
-			return 0, err
+	total, allocs, bytes, err := measureOp(1, func() error {
+		for i := 0; i < ops; i++ {
+			if _, err := f.Extrapolate(g, 0); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ns := total / ops
+	return &Scenario{
+		Name: "warm_extrapolate", Runs: 1, NsPerOp: ns, OpsPerS: opsPerS(ns),
+		AllocsPerOp: allocs / ops, BytesPerOp: bytes / ops,
+	}, nil
+}
+
+// ssProgram is the engine_superstep scenario's vertex program: the
+// PageRank communication shape (a float share to every out-neighbor, one
+// aggregate contribution, no vote-to-halt) with a combiner, so the
+// measured loop is the engine's combiner fast path under full load.
+type ssProgram struct{ n float64 }
+
+func (p ssProgram) Init(_ *graph.Graph, _ bsp.VertexID) float64 { return 1 / p.n }
+
+func (p ssProgram) Compute(ctx *bsp.Context[float64], id bsp.VertexID, v *float64, msgs []float64) {
+	var sum float64
+	for _, m := range msgs {
+		sum += m
+	}
+	if ctx.Superstep() > 0 {
+		*v = 0.15/p.n + 0.85*sum
+	}
+	ctx.AddToAggregate("bench.mass", sum)
+	if deg := ctx.Graph().OutDegree(id); deg > 0 {
+		ctx.SendToNeighbors(id, *v/float64(deg))
+	}
+}
+
+func (ssProgram) MessageBytes(float64) int { return 8 }
+func (ssProgram) FixedMessageBytes() int   { return 8 }
+
+// engineSuperstep measures the steady-state cost of one BSP superstep on
+// the bench graph — ns, heap allocations and bytes per superstep with the
+// one-time setup (partitioning, buffer allocation, value init) subtracted
+// by differencing a long run against a one-superstep run. This is the
+// scenario the allocation gate (-max-superstep-allocs) is defined on.
+func engineSuperstep(g *graph.Graph, runs int) (*Scenario, error) {
+	const steps = 64
+	cfg := benchEnv()
+	cfg.MaxSupersteps = steps + 1
+	runEngine := func(supersteps int) func() error {
+		return func() error {
+			eng := bsp.NewEngine[float64, float64](g, ssProgram{n: float64(g.NumVertices())}, cfg)
+			eng.SetCombiner(func(a, b float64) float64 { return a + b })
+			eng.SetHalt(func(info bsp.SuperstepInfo) bool { return info.Superstep >= supersteps-1 })
+			_, err := eng.Run()
+			return err
 		}
 	}
-	return float64(time.Since(start).Nanoseconds()) / ops, nil
+	longNs, longAllocs, longBytes, err := measureOp(runs, runEngine(steps))
+	if err != nil {
+		return nil, err
+	}
+	setupNs, setupAllocs, setupBytes, err := measureOp(runs, runEngine(1))
+	if err != nil {
+		return nil, err
+	}
+	perStep := func(long, setup float64) float64 {
+		d := (long - setup) / (steps - 1)
+		if d < 0 {
+			return 0 // measurement noise on a host with background load
+		}
+		return d
+	}
+	ns := perStep(longNs, setupNs)
+	return &Scenario{
+		Name: "engine_superstep", Runs: runs, NsPerOp: ns, OpsPerS: opsPerS(ns),
+		AllocsPerOp: perStep(longAllocs, setupAllocs),
+		BytesPerOp:  perStep(longBytes, setupBytes),
+	}, nil
 }
 
 // serviceEndToEnd drives a mixed workload through the HTTP service: three
@@ -337,25 +459,29 @@ func serviceEndToEnd(dataset string, scale float64) (*Scenario, error) {
 	}
 
 	// Four concurrent clients, first-error semantics — the same pool the
-	// fit pipeline uses.
-	start := time.Now()
+	// fit pipeline uses. The allocation columns cover the whole serving
+	// stack: HTTP handling, cache lookups and the shared-pool cold fits.
 	clients := parallel.NewPool(4)
-	err := clients.ForEach(context.Background(), len(reqs),
-		func(_ context.Context, i int) error {
-			return postPredict(server.URL, reqs[i])
-		})
+	totalNs, allocs, bytes, err := measureOp(1, func() error {
+		return clients.ForEach(context.Background(), len(reqs),
+			func(_ context.Context, i int) error {
+				return postPredict(server.URL, reqs[i])
+			})
+	})
 	if err != nil {
 		return nil, err
 	}
-	elapsed := time.Since(start)
 
 	st := svc.Stats()
 	hitRatio := st.HitRatio
+	n := float64(len(reqs))
 	return &Scenario{
 		Name:          "service_end_to_end",
 		Runs:          1,
-		NsPerOp:       float64(elapsed.Nanoseconds()) / float64(len(reqs)),
-		OpsPerS:       float64(len(reqs)) / elapsed.Seconds(),
+		NsPerOp:       totalNs / n,
+		OpsPerS:       n / (totalNs / 1e9),
+		AllocsPerOp:   allocs / n,
+		BytesPerOp:    bytes / n,
 		CacheHitRatio: &hitRatio,
 		Requests:      len(reqs),
 	}, nil

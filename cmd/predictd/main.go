@@ -9,6 +9,7 @@
 //	predictd -addr :8080 -history models.jsonl      # warm + persist cache
 //	predictd -max-models 128 -timeout 120s -workers 16
 //	predictd -fit-parallelism 8 -fit-timeout 2m     # cold-path budget
+//	predictd -pprof-addr 127.0.0.1:6060             # live profiling (off by default)
 //
 // API (JSON):
 //
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the DefaultServeMux, served only on -pprof-addr
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,8 +49,22 @@ func main() {
 		histFile  = flag.String("history", "", "JSON-lines file: warm the model cache at startup, persist it at shutdown")
 		fitPar    = flag.Int("fit-parallelism", 0, "shared fit-pool budget: sample pipelines running at once across all cold fits (0 = GOMAXPROCS)")
 		fitTO     = flag.Duration("fit-timeout", 0, "per-fit deadline, detached from request timeouts (0 = default 5m)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables profiling")
 	)
 	flag.Parse()
+
+	// The profiling listener is opt-in and separate from the service
+	// listener, so profiling endpoints are never exposed on the serving
+	// address. The blank net/http/pprof import registers its handlers on
+	// the DefaultServeMux, which nothing else in this process serves.
+	if *pprofAddr != "" {
+		go func() {
+			log.Printf("predictd: pprof listening on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("predictd: pprof listener: %v", err)
+			}
+		}()
+	}
 
 	oracle := cluster.DefaultOracle()
 	svc := service.New(service.Config{

@@ -49,7 +49,10 @@ func (c ConnectedComponents) RunLabels(g *graph.Graph, cfg bsp.Config) (*RunInfo
 	ug := g.Undirected()
 	prog := &ccProgram{}
 	eng := bsp.NewEngine[graph.VertexID, graph.VertexID](ug, prog, cfg)
-	eng.SetCombiner(func(a, b graph.VertexID) graph.VertexID {
+	// Integer min is associative, commutative and idempotent at the bit
+	// level, so the engine may combine on the send side: at most one label
+	// crosses each (sender, destination) pair per superstep.
+	eng.SetExactCombiner(func(a, b graph.VertexID) graph.VertexID {
 		if a < b {
 			return a
 		}
@@ -86,3 +89,7 @@ func (ccProgram) Compute(ctx *bsp.Context[graph.VertexID], id bsp.VertexID, labe
 }
 
 func (ccProgram) MessageBytes(graph.VertexID) int { return 4 }
+
+// FixedMessageBytes implements bsp.FixedSizeMessager: labels are 4-byte
+// vertex IDs.
+func (ccProgram) FixedMessageBytes() int { return 4 }

@@ -1,0 +1,275 @@
+package algorithms
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"sort"
+	"testing"
+
+	"predict/internal/bsp"
+	"predict/internal/cluster"
+	"predict/internal/graph"
+)
+
+// The engine-determinism pins: for every (algorithm, oracle seed, worker
+// count) the exact bits of the run's Profile (per-superstep messages,
+// bytes, aggregates, worker seconds — see bsp.Profile.Fingerprint) and of
+// the algorithm's output values. The values were captured from the
+// pre-rewrite per-superstep message path (the engine that allocated fresh
+// outboxes and spawned workers every superstep) and pin the persistent-
+// worker engine to it bit for bit: any change to partitioning, message
+// order, combiner application order, aggregate merge order or oracle rng
+// consumption shows up here as a one-line diff.
+//
+// To regenerate after an *intentional* semantics change, run:
+//
+//	PREDICT_CAPTURE_PINS=1 go test ./internal/algorithms -run TestEngineDeterminismPins -v
+//
+// and paste the printed table (then justify the change in DESIGN.md §7).
+var determinismPins = map[string]string{
+	"CC/s1/w1":         "4ed1ceb8116842ce 74b4429a2fdd70e5",
+	"CC/s1/w2":         "9bf0126c8e66965d 74b4429a2fdd70e5",
+	"CC/s1/w7":         "07bfb2452008971a 74b4429a2fdd70e5",
+	"CC/s1234567/w1":   "6aa7b0a05e3941d8 74b4429a2fdd70e5",
+	"CC/s1234567/w2":   "9d8d69461e1446c8 74b4429a2fdd70e5",
+	"CC/s1234567/w7":   "1bca454b9d57aa6a 74b4429a2fdd70e5",
+	"CC/s42/w1":        "39240f85f1add252 74b4429a2fdd70e5",
+	"CC/s42/w2":        "70b4a65ee9276090 74b4429a2fdd70e5",
+	"CC/s42/w7":        "6d8d07209140fb7e 74b4429a2fdd70e5",
+	"NH/s1/w1":         "a73142289e57dc3e e52c8fc29dc7c331",
+	"NH/s1/w2":         "8c3e433f7a759dad e52c8fc29dc7c331",
+	"NH/s1/w7":         "55c43afb003a184b e52c8fc29dc7c331",
+	"NH/s1234567/w1":   "6125ea8394185708 e52c8fc29dc7c331",
+	"NH/s1234567/w2":   "394b93ab4eff4206 e52c8fc29dc7c331",
+	"NH/s1234567/w7":   "cb19c6e18b134714 e52c8fc29dc7c331",
+	"NH/s42/w1":        "2df239d262fbb07e e52c8fc29dc7c331",
+	"NH/s42/w2":        "fa1ba7cf432b2691 e52c8fc29dc7c331",
+	"NH/s42/w7":        "eda86d03b7f659b8 e52c8fc29dc7c331",
+	"PR/s1/w1":         "c119de650239e956 78ae1f8c95e0f6d1",
+	"PR/s1/w2":         "804763f1f1d1824f f804fa24c1ec6ac2",
+	"PR/s1/w7":         "ba49b940ca4b29db e71462b81cef4823",
+	"PR/s1234567/w1":   "d8fb9d89ec3a2f17 78ae1f8c95e0f6d1",
+	"PR/s1234567/w2":   "949b5d95cb7d748b f804fa24c1ec6ac2",
+	"PR/s1234567/w7":   "71ecfe2567424f5b e71462b81cef4823",
+	"PR/s42/w1":        "c0a4ae52ab8a503f 78ae1f8c95e0f6d1",
+	"PR/s42/w2":        "0c5d108757255e0e f804fa24c1ec6ac2",
+	"PR/s42/w7":        "4d7a53461551e711 e71462b81cef4823",
+	"SC/s1/w1":         "4724a5a2fc1f111f 0b56ce85454aec8b",
+	"SC/s1/w2":         "da303a2561822ef6 0b56ce85454aec8b",
+	"SC/s1/w7":         "90f847eb97f6e6d4 0b56ce85454aec8b",
+	"SC/s1234567/w1":   "e855f8ede6910828 0b56ce85454aec8b",
+	"SC/s1234567/w2":   "c2555fefcab6acdd 0b56ce85454aec8b",
+	"SC/s1234567/w7":   "b0e438ba63b77db0 0b56ce85454aec8b",
+	"SC/s42/w1":        "45a12c542c54e035 0b56ce85454aec8b",
+	"SC/s42/w2":        "3e78d518b8d0e0b7 0b56ce85454aec8b",
+	"SC/s42/w7":        "9af6a4cfb809550a 0b56ce85454aec8b",
+	"TOPK/s1/w1":       "0bb5f9fde6007f22 1abcded29a76d4c5",
+	"TOPK/s1/w2":       "8e7726f1a4c5db26 6016d63752edb3e5",
+	"TOPK/s1/w7":       "59448f7401d7ceb0 0f32e2e3cb06eb05",
+	"TOPK/s1234567/w1": "ca18ffa64d6ab713 1abcded29a76d4c5",
+	"TOPK/s1234567/w2": "f54bfbc37004c711 6016d63752edb3e5",
+	"TOPK/s1234567/w7": "d40eb8205fdc48c1 0f32e2e3cb06eb05",
+	"TOPK/s42/w1":      "8b621d55b5dcc34b 1abcded29a76d4c5",
+	"TOPK/s42/w2":      "8e1b35b5cf084fd1 6016d63752edb3e5",
+	"TOPK/s42/w7":      "82c6b66f0e804b36 0f32e2e3cb06eb05",
+}
+
+// determinismGraph builds a fixed 150-vertex graph with mixed degrees: a
+// ring (connectivity), arithmetic chords (fan-out) and a hub (skew). The
+// structure exercises local and remote traffic at every pinned worker
+// count.
+func determinismGraph() *graph.Graph {
+	const n = 150
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.VertexID(i), graph.VertexID((i+1)%n))
+		if i%2 == 0 {
+			b.AddEdge(graph.VertexID(i), graph.VertexID((i*7+3)%n))
+		}
+		if i%5 == 0 && i != 0 {
+			b.AddEdge(graph.VertexID(i), 0)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// determinismConfig keeps the oracle's noise and straggler model ON so the
+// pinned worker seconds cover the rng consumption order, and disables only
+// the memory budget (the test graph is tiny; the budget is irrelevant).
+func determinismConfig(workers int, seed uint64) bsp.Config {
+	o := cluster.DefaultOracle()
+	o.MemoryBudgetBytes = 0
+	return bsp.Config{Workers: workers, Seed: seed, Oracle: &o}
+}
+
+type pinnedRun struct {
+	name string
+	run  func(g *graph.Graph, cfg bsp.Config) (*RunInfo, string, error)
+}
+
+func fpHash() (*fnvWriter, func() string) {
+	h := &fnvWriter{h: fnv.New64a()}
+	return h, h.hex
+}
+
+type fnvWriter struct {
+	h interface {
+		Sum64() uint64
+		Write([]byte) (int, error)
+	}
+}
+
+func (w *fnvWriter) u64(v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	w.h.Write(buf[:])
+}
+func (w *fnvWriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *fnvWriter) hex() string {
+	return fmt.Sprintf("%016x", w.h.Sum64())
+}
+
+func pinnedRuns() []pinnedRun {
+	return []pinnedRun{
+		{"PR", func(g *graph.Graph, cfg bsp.Config) (*RunInfo, string, error) {
+			pr := NewPageRank()
+			pr.Tau = TauForTolerance(0.001, g.NumVertices())
+			ri, ranks, err := pr.RunRanks(g, cfg)
+			if err != nil {
+				return nil, "", err
+			}
+			h, hex := fpHash()
+			for _, r := range ranks {
+				h.f64(r)
+			}
+			return ri, hex(), nil
+		}},
+		{"CC", func(g *graph.Graph, cfg bsp.Config) (*RunInfo, string, error) {
+			ri, labels, err := NewConnectedComponents().RunLabels(g, cfg)
+			if err != nil {
+				return nil, "", err
+			}
+			h, hex := fpHash()
+			for _, l := range labels {
+				h.u64(uint64(l))
+			}
+			return ri, hex(), nil
+		}},
+		{"NH", func(g *graph.Graph, cfg bsp.Config) (*RunInfo, string, error) {
+			ri, ests, err := NewNeighborhoodEstimation().RunEstimates(g, cfg)
+			if err != nil {
+				return nil, "", err
+			}
+			h, hex := fpHash()
+			for _, e := range ests {
+				h.f64(e)
+			}
+			return ri, hex(), nil
+		}},
+		{"TOPK", func(g *graph.Graph, cfg bsp.Config) (*RunInfo, string, error) {
+			ri, lists, err := NewTopKRanking().RunLists(g, cfg)
+			if err != nil {
+				return nil, "", err
+			}
+			h, hex := fpHash()
+			for _, list := range lists {
+				h.u64(uint64(len(list)))
+				for _, e := range list {
+					h.u64(uint64(e.ID))
+					h.f64(e.Rank)
+				}
+			}
+			return ri, hex(), nil
+		}},
+		{"SC", func(g *graph.Graph, cfg bsp.Config) (*RunInfo, string, error) {
+			ri, clusters, err := NewSemiClustering().RunClusters(g, cfg)
+			if err != nil {
+				return nil, "", err
+			}
+			h, hex := fpHash()
+			for _, cs := range clusters {
+				h.u64(uint64(len(cs)))
+				for _, c := range cs {
+					h.f64(c.Score)
+					for _, m := range c.Members {
+						h.u64(uint64(m))
+					}
+				}
+			}
+			return ri, hex(), nil
+		}},
+	}
+}
+
+// TestEngineDeterminismPins runs every paper algorithm across 3 oracle
+// seeds × worker counts {1, 2, 7} and asserts the full Profile and the
+// output values are bit-identical to the pinned pre-rewrite engine.
+func TestEngineDeterminismPins(t *testing.T) {
+	capture := os.Getenv("PREDICT_CAPTURE_PINS") != ""
+	g := determinismGraph()
+	var keys []string
+	got := map[string]string{}
+	for _, pr := range pinnedRuns() {
+		for _, seed := range []uint64{1, 42, 1234567} {
+			for _, workers := range []int{1, 2, 7} {
+				key := fmt.Sprintf("%s/s%d/w%d", pr.name, seed, workers)
+				ri, valFP, err := pr.run(g, determinismConfig(workers, seed))
+				if err != nil {
+					t.Fatalf("%s: %v", key, err)
+				}
+				got[key] = ri.Profile.Fingerprint() + " " + valFP
+				keys = append(keys, key)
+			}
+		}
+	}
+	if capture {
+		sorted := append([]string(nil), keys...)
+		sort.Strings(sorted)
+		for _, k := range sorted {
+			fmt.Printf("\t%q: %q,\n", k, got[k])
+		}
+		return
+	}
+	for _, k := range keys {
+		want, ok := determinismPins[k]
+		if !ok {
+			t.Errorf("%s: no pinned fingerprint (run with PREDICT_CAPTURE_PINS=1 to capture)", k)
+			continue
+		}
+		if got[k] != want {
+			t.Errorf("%s: fingerprint %s, pinned %s — engine output changed bit-wise", k, got[k], want)
+		}
+	}
+}
+
+// TestEngineRunToRunStability re-runs one configuration of every algorithm
+// and asserts two runs in the same process are bit-identical — the
+// persistent-worker engine must not let goroutine scheduling reach any
+// output.
+func TestEngineRunToRunStability(t *testing.T) {
+	g := determinismGraph()
+	for _, pr := range pinnedRuns() {
+		cfg := determinismConfig(3, 7)
+		ri1, v1, err := pr.run(g, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", pr.name, err)
+		}
+		ri2, v2, err := pr.run(g, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", pr.name, err)
+		}
+		if f1, f2 := ri1.Profile.Fingerprint(), ri2.Profile.Fingerprint(); f1 != f2 {
+			t.Errorf("%s: profile fingerprints differ across runs: %s vs %s", pr.name, f1, f2)
+		}
+		if v1 != v2 {
+			t.Errorf("%s: value fingerprints differ across runs: %s vs %s", pr.name, v1, v2)
+		}
+	}
+}

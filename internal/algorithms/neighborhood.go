@@ -69,7 +69,10 @@ func (n NeighborhoodEstimation) RunEstimates(g *graph.Graph, cfg bsp.Config) (*R
 	}
 	prog := &nhProgram{seed: n.HashSeed}
 	eng := bsp.NewEngine[nhValue, nhMsg](g.Reverse(), prog, cfg)
-	eng.SetCombiner(func(a, b nhMsg) nhMsg {
+	// Bitwise OR is exact under any regrouping, so Flajolet–Martin sketch
+	// unions combine on the send side: one merged sketch per (sender,
+	// destination) pair instead of one 64-byte message per edge.
+	eng.SetExactCombiner(func(a, b nhMsg) nhMsg {
 		for i := range a {
 			a[i] |= b[i]
 		}
@@ -147,6 +150,10 @@ func (np *nhProgram) Compute(ctx *bsp.Context[nhMsg], id bsp.VertexID, v *nhValu
 }
 
 func (np *nhProgram) MessageBytes(nhMsg) int { return 8 * nhSketches }
+
+// FixedMessageBytes implements bsp.FixedSizeMessager: a sketch message is
+// nhSketches 64-bit bitmasks.
+func (np *nhProgram) FixedMessageBytes() int { return 8 * nhSketches }
 
 // fmEstimate converts FM bitmasks to a cardinality estimate: 2^R / 0.77351
 // where R is the average position of the lowest zero bit.

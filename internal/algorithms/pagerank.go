@@ -57,6 +57,11 @@ func (p PageRank) RunRanks(g *graph.Graph, cfg bsp.Config) (*RunInfo, []float64,
 	}
 	prog := &pageRankProgram{damping: p.Damping, n: float64(g.NumVertices())}
 	eng := bsp.NewEngine[prValue, float64](g, prog, cfg)
+	// Floating-point addition is not associative at the bit level, so the
+	// rank-share combiner must stay a plain (receive-side) combiner: the
+	// engine applies it in its fixed pinned order, keeping ranks, delta
+	// aggregates and iteration counts bit-identical on every run. Do not
+	// "upgrade" this to SetExactCombiner.
 	eng.SetCombiner(func(a, b float64) float64 { return a + b })
 	n := float64(g.NumVertices())
 	tau := p.Tau
@@ -128,3 +133,7 @@ func (p *pageRankProgram) Compute(ctx *bsp.Context[float64], id bsp.VertexID, v 
 }
 
 func (p *pageRankProgram) MessageBytes(float64) int { return 8 }
+
+// FixedMessageBytes implements bsp.FixedSizeMessager: every rank share is
+// one float64.
+func (p *pageRankProgram) FixedMessageBytes() int { return 8 }

@@ -96,6 +96,16 @@ type ValueSizer[V any] interface {
 	ValueBytes(v V) int
 }
 
+// FixedSizeMessager is an optional Program extension declaring that every
+// message serializes to the same number of bytes. The engine caches the
+// size at setup and skips the per-send MessageBytes call on the hot path;
+// the returned value must equal MessageBytes(m) for every m. Programs
+// with variable-size messages (top-k lists, semi-clusters) simply do not
+// implement it.
+type FixedSizeMessager interface {
+	FixedMessageBytes() int
+}
+
 // Combiner merges two messages destined for the same vertex (e.g. partial
 // sums for PageRank), reducing memory and delivery cost exactly like
 // Giraph combiners.

@@ -3,7 +3,6 @@ package bsp
 import (
 	"fmt"
 	"math/rand/v2"
-	"sort"
 	"sync"
 	"time"
 
@@ -19,12 +18,25 @@ type envelope[M any] struct {
 
 // Engine executes a Program over a graph under a Config. Engines are
 // single-use: construct, configure, Run once.
+//
+// The superstep loop is engineered for near-zero steady-state heap
+// allocation: W worker goroutines are spawned once and driven through
+// phase barriers for the whole run (inline on the caller for W=1),
+// outboxes and inboxes are reused across supersteps, aggregators are
+// slice-backed behind an interned name table, and exact combiners are
+// applied on the send side so remote traffic collapses to at most one
+// combined slot per (sender, destination) pair. None of this is
+// observable in the simulation: messages and bytes are counted at send
+// time, so Profile counters, oracle pricing and fitted cost models are
+// bit-identical to the historical per-superstep message path (pinned by
+// the engine-determinism tests).
 type Engine[V, M any] struct {
-	g        *graph.Graph
-	prog     Program[V, M]
-	cfg      Config
-	combiner Combiner[M]
-	halt     HaltPredicate
+	g             *graph.Graph
+	prog          Program[V, M]
+	cfg           Config
+	combiner      Combiner[M]
+	exactCombiner bool
+	halt          HaltPredicate
 }
 
 // NewEngine returns an engine for program p over graph g.
@@ -32,8 +44,32 @@ func NewEngine[V, M any](g *graph.Graph, p Program[V, M], cfg Config) *Engine[V,
 	return &Engine[V, M]{g: g, prog: p, cfg: cfg.withDefaults()}
 }
 
-// SetCombiner installs a message combiner (optional).
-func (e *Engine[V, M]) SetCombiner(c Combiner[M]) { e.combiner = c }
+// SetCombiner installs a message combiner (optional). The combiner is
+// applied in a fixed, scheduling-independent order — eagerly for local
+// messages, then per sending worker in worker order at delivery — so
+// combiners that are only approximately associative (floating-point
+// sums) still produce bit-identical results on every run. Combiners that
+// are exact under regrouping should use SetExactCombiner, which
+// additionally enables send-side combining.
+func (e *Engine[V, M]) SetCombiner(c Combiner[M]) {
+	e.combiner = c
+	e.exactCombiner = false
+}
+
+// SetExactCombiner installs a combiner that is bit-exact under any
+// grouping and ordering of its applications: associative and commutative
+// at the bit level, like min, max, bitwise and/or, or integer addition —
+// but not floating-point addition, whose rounding depends on grouping.
+// For exact combiners the engine combines remote messages on the send
+// side into one dense slot per destination vertex, so at most one
+// combined value per (sender, destination) pair crosses the worker
+// boundary regardless of how many messages were sent. Counters are
+// unaffected (messages and bytes are counted at send time); only the
+// host-side memory footprint and delivery work shrink.
+func (e *Engine[V, M]) SetExactCombiner(c Combiner[M]) {
+	e.combiner = c
+	e.exactCombiner = true
+}
 
 // SetHalt installs the master-side convergence predicate (optional). When
 // nil, the run terminates only when every vertex has voted to halt and no
@@ -44,6 +80,61 @@ func (e *Engine[V, M]) SetHalt(h HaltPredicate) { e.halt = h }
 // emulating Giraph's hash partitioning.
 func partitionWorker(v VertexID, workers int) int {
 	return int((uint64(uint32(v)) * 2654435761) % uint64(workers))
+}
+
+// crew drives a fixed set of persistent worker goroutines through phase
+// barriers: the master installs a phase body, kicks every worker, and
+// waits for all of them — the two-spawns-per-superstep pattern replaced
+// by two channel round-trips. A single-worker crew runs every phase
+// inline on the master goroutine and never spawns.
+type crew struct {
+	workers int
+	fn      func(w int) // current phase body; written only between phases
+	kick    []chan struct{}
+	wg      sync.WaitGroup
+}
+
+// startCrew launches the worker goroutines (none for a single worker).
+func startCrew(workers int) *crew {
+	c := &crew{workers: workers}
+	if workers == 1 {
+		return c
+	}
+	c.kick = make([]chan struct{}, workers)
+	for w := range c.kick {
+		c.kick[w] = make(chan struct{}, 1)
+		go func(w int) {
+			for range c.kick[w] {
+				c.fn(w)
+				c.wg.Done()
+			}
+		}(w)
+	}
+	return c
+}
+
+// phase runs fn(w) for every worker and returns when all have finished.
+// The channel send publishes c.fn to the workers; wg.Wait publishes
+// their writes back to the master.
+func (c *crew) phase(fn func(w int)) {
+	if c.workers == 1 {
+		fn(0)
+		return
+	}
+	c.fn = fn
+	c.wg.Add(c.workers)
+	for _, k := range c.kick {
+		k <- struct{}{}
+	}
+	c.wg.Wait()
+}
+
+// stop terminates the worker goroutines. Safe to call more than once
+// only via the single defer in Run.
+func (c *crew) stop() {
+	for _, k := range c.kick {
+		close(k)
+	}
 }
 
 // Run executes the program to convergence and returns the final vertex
@@ -91,17 +182,10 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 		WriteSeconds:   oracle.WriteSeconds(int64(n), W),
 	}
 
-	// ----- Read phase: initialize vertex values (parallel per worker).
-	values := make([]V, n)
-	runWorkers(W, func(w int) {
-		for _, v := range workerVerts[w] {
-			values[v] = e.prog.Init(e.g, v)
-		}
-	})
-	halted := make([]bool, n)
-
 	// Message storage. With a combiner each vertex holds at most one
-	// pending message; without one it holds a list.
+	// pending message; without one it holds a list. All buffers are
+	// allocated once and reused for the whole run.
+	useCombiner := e.combiner != nil
 	var (
 		curList  [][]M
 		nextList [][]M
@@ -110,7 +194,7 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 		nextOne  []M
 		nextHas  []bool
 	)
-	if e.combiner != nil {
+	if useCombiner {
 		curOne = make([]M, n)
 		curHas = make([]bool, n)
 		nextOne = make([]M, n)
@@ -122,94 +206,159 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 
 	graphBytes := 8*e.g.NumEdges() + 16*int64(n)
 	sizer, hasSizer := any(e.prog).(ValueSizer[V])
+	fixedBytes := -1
+	if fm, ok := any(e.prog).(FixedSizeMessager); ok {
+		fixedBytes = fm.FixedMessageBytes()
+	}
 
+	values := make([]V, n)
+	halted := make([]bool, n)
+
+	// Persistent per-worker contexts: every buffer a superstep needs —
+	// outboxes, combined-send slots, aggregator arrays — lives here and is
+	// reused, so the steady-state loop allocates nothing per worker.
 	contexts := make([]*Context[M], W)
 	for w := 0; w < W; w++ {
-		contexts[w] = &Context[M]{
-			g:       e.g,
-			part:    part,
-			worker:  w,
-			workers: W,
-			numVert: int64(n),
+		c := &Context[M]{
+			g:          e.g,
+			part:       part,
+			worker:     w,
+			workers:    W,
+			numVert:    int64(n),
+			prog:       e.prog,
+			fixedBytes: fixedBytes,
+			combiner:   e.combiner,
+			halted:     halted,
+			aggIdx:     map[string]int{},
+			nextOne:    nextOne,
+			nextHas:    nextHas,
+			nextList:   nextList,
+		}
+		if W > 1 {
+			if useCombiner && e.exactCombiner {
+				// Send-side combining: one dense combined slot per
+				// destination vertex, plus the first-touch order per
+				// destination worker (the deterministic delivery order).
+				c.slot = make([]M, n)
+				c.slotEpoch = make([]uint32, n)
+				c.touched = make([][]VertexID, W)
+			} else {
+				c.outbox = make([][]envelope[M], W)
+			}
+		}
+		contexts[w] = c
+	}
+
+	workers := startCrew(W)
+	defer workers.stop()
+
+	// ----- Read phase: initialize vertex values (parallel per worker).
+	workers.phase(func(w int) {
+		for _, v := range workerVerts[w] {
+			values[v] = e.prog.Init(e.g, v)
+		}
+	})
+
+	// Phase bodies are built once; per-superstep state reaches them
+	// through the contexts and the captured buffer variables.
+	computePhase := func(w int) {
+		c := contexts[w]
+		for _, v := range workerVerts[w] {
+			var msgs []M
+			if useCombiner {
+				if curHas[v] {
+					c.scratch[0] = curOne[v]
+					msgs = c.scratch[:1]
+				}
+			} else {
+				msgs = curList[v]
+			}
+			if halted[v] && len(msgs) == 0 {
+				continue
+			}
+			if len(msgs) > 0 {
+				halted[v] = false // message receipt reactivates
+			}
+			c.load.ActiveVertices++
+			c.current = v
+			e.prog.Compute(c, v, &values[v], msgs)
 		}
 	}
+	// Delivery merges remote sends targeting worker w, sender by sender in
+	// worker order — the fixed merge order that keeps combiner application
+	// bit-reproducible (and, for non-exact combiners, bit-identical to the
+	// historical per-message path).
+	deliverPhase := func(w int) {
+		for sw := 0; sw < W; sw++ {
+			c := contexts[sw]
+			if c.slot != nil {
+				for _, dst := range c.touched[w] {
+					if nextHas[dst] {
+						nextOne[dst] = e.combiner(nextOne[dst], c.slot[dst])
+					} else {
+						nextOne[dst] = c.slot[dst]
+						nextHas[dst] = true
+					}
+				}
+				continue
+			}
+			for _, env := range c.outbox[w] {
+				if useCombiner {
+					if nextHas[env.dst] {
+						nextOne[env.dst] = e.combiner(nextOne[env.dst], env.m)
+					} else {
+						nextOne[env.dst] = env.m
+						nextHas[env.dst] = true
+					}
+				} else {
+					nextList[env.dst] = append(nextList[env.dst], env.m)
+				}
+			}
+		}
+	}
+
 	prevAgg := map[string]float64{}
 
 	// ----- Superstep phase.
 	converged := false
 	for step := 0; step < e.cfg.MaxSupersteps; step++ {
 		start := time.Now()
-		// Reset per-superstep context state.
+		epoch := uint32(step + 1)
+		// Reset per-superstep context state: truncate reused buffers,
+		// advance the epoch that lazily invalidates slots and aggregates.
 		for w := 0; w < W; w++ {
 			c := contexts[w]
 			c.superstep = step
+			c.epoch = epoch
 			c.load = cluster.WorkerLoad{TotalVertices: workerVertCounts[w]}
-			c.agg = map[string]float64{}
 			c.prevAgg = prevAgg
-			c.outbox = make([][]envelope[M], W)
-			c.halted = halted
-			c.combiner = e.combiner
-			c.prog = e.prog
-			c.nextOne = nextOne
-			c.nextHas = nextHas
-			c.nextList = nextList
+			for i := range c.touched {
+				c.touched[i] = c.touched[i][:0]
+			}
+			for i := range c.outbox {
+				c.outbox[i] = c.outbox[i][:0]
+			}
 		}
 
-		// Compute phase: each worker scans its vertices.
-		runWorkers(W, func(w int) {
-			c := contexts[w]
-			var scratch [1]M
-			for _, v := range workerVerts[w] {
-				var msgs []M
-				if e.combiner != nil {
-					if curHas[v] {
-						scratch[0] = curOne[v]
-						msgs = scratch[:1]
-					}
-				} else {
-					msgs = curList[v]
-				}
-				if halted[v] && len(msgs) == 0 {
-					continue
-				}
-				if len(msgs) > 0 {
-					halted[v] = false // message receipt reactivates
-				}
-				c.load.ActiveVertices++
-				c.current = v
-				e.prog.Compute(c, v, &values[v], msgs)
-			}
-		})
-
-		// Delivery phase: each worker merges remote envelopes targeting it.
-		runWorkers(W, func(w int) {
-			for sw := 0; sw < W; sw++ {
-				for _, env := range contexts[sw].outbox[w] {
-					if e.combiner != nil {
-						if nextHas[env.dst] {
-							nextOne[env.dst] = e.combiner(nextOne[env.dst], env.m)
-						} else {
-							nextOne[env.dst] = env.m
-							nextHas[env.dst] = true
-						}
-					} else {
-						nextList[env.dst] = append(nextList[env.dst], env.m)
-					}
-				}
-			}
-		})
+		// Compute phase: each worker scans its vertices. Delivery phase:
+		// each worker merges the remote sends targeting it (no remote
+		// traffic exists on a single worker).
+		workers.phase(computePhase)
+		if W > 1 {
+			workers.phase(deliverPhase)
+		}
 		wallNanos := time.Since(start).Nanoseconds()
 
-		// Master: merge aggregates deterministically, price the superstep.
+		// Master: merge aggregates deterministically — per key, worker
+		// contributions accumulate in worker order; the epoch gate keeps
+		// the key set exactly the names touched this superstep.
 		agg := map[string]float64{}
 		for w := 0; w < W; w++ {
-			keys := make([]string, 0, len(contexts[w].agg))
-			for k := range contexts[w].agg {
-				keys = append(keys, k)
-			}
-			sort.Strings(keys)
-			for _, k := range keys {
-				agg[k] += contexts[w].agg[k]
+			c := contexts[w]
+			for i, name := range c.aggNames {
+				if c.aggEpoch[i] == epoch {
+					agg[name] += c.aggVals[i]
+				}
 			}
 		}
 		loads := make([]cluster.WorkerLoad, W)
@@ -282,7 +431,7 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 		}
 
 		// Swap message buffers.
-		if e.combiner != nil {
+		if useCombiner {
 			curOne, nextOne = nextOne, curOne
 			curHas, nextHas = nextHas, curHas
 			for i := range nextHas {
@@ -293,6 +442,11 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 			for i := range nextList {
 				nextList[i] = nextList[i][:0]
 			}
+		}
+		// Re-point the contexts at the swapped next-superstep inboxes.
+		for w := 0; w < W; w++ {
+			c := contexts[w]
+			c.nextOne, c.nextHas, c.nextList = nextOne, nextHas, nextList
 		}
 
 		if converged {
@@ -310,17 +464,4 @@ func (e *Engine[V, M]) Run() (*Result[V], error) {
 		return res, fmt.Errorf("%w: %d supersteps", ErrNoConvergence, e.cfg.MaxSupersteps)
 	}
 	return res, nil
-}
-
-// runWorkers executes fn(w) for w in [0, workers) concurrently and waits.
-func runWorkers(workers int, fn func(w int)) {
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			fn(w)
-		}(w)
-	}
-	wg.Wait()
 }

@@ -3,8 +3,10 @@ package bsp
 import (
 	"errors"
 	"math"
+	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"predict/internal/cluster"
 	"predict/internal/graph"
@@ -431,3 +433,139 @@ func (p aggEchoProgram) Compute(ctx *Context[int], id VertexID, _ *int, _ []int)
 	ctx.SendToNeighbors(id, 0)
 }
 func (aggEchoProgram) MessageBytes(int) int { return 8 }
+
+// minProgram floods min labels like connected components; min is exact
+// under regrouping, so plain and send-side combining must agree bit-wise.
+type minProgram struct{}
+
+func (minProgram) Init(_ *graph.Graph, id VertexID) int { return int(id) }
+
+func (minProgram) Compute(ctx *Context[int], id VertexID, value *int, msgs []int) {
+	changed := ctx.Superstep() == 0
+	for _, m := range msgs {
+		if m < *value {
+			*value = m
+			changed = true
+		}
+	}
+	if changed {
+		ctx.SendToNeighbors(id, *value)
+	}
+	ctx.VoteToHalt()
+}
+
+func (minProgram) MessageBytes(int) int { return 8 }
+
+func TestExactCombinerMatchesPlainCombiner(t *testing.T) {
+	g := starPlusRing(80)
+	min := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	run := func(exact bool) ([]int, string) {
+		eng := NewEngine[int, int](g, minProgram{}, testCfg(4))
+		if exact {
+			eng.SetExactCombiner(min)
+		} else {
+			eng.SetCombiner(min)
+		}
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatalf("Run(exact=%v): %v", exact, err)
+		}
+		return res.Values, res.Profile.Fingerprint()
+	}
+	plainVals, plainFP := run(false)
+	exactVals, exactFP := run(true)
+	for v := range plainVals {
+		if plainVals[v] != exactVals[v] {
+			t.Fatalf("vertex %d: plain %d vs exact %d", v, plainVals[v], exactVals[v])
+		}
+	}
+	if plainFP != exactFP {
+		t.Errorf("profiles diverge between plain and send-side combining:\nplain %s\nexact %s", plainFP, exactFP)
+	}
+}
+
+// sparseAggProgram contributes to an aggregator only on even supersteps,
+// guarding the epoch-gated merge: an interned name must not linger in the
+// profile of supersteps where nothing touched it (the historical
+// fresh-map-per-superstep semantics).
+type sparseAggProgram struct{}
+
+func (sparseAggProgram) Init(_ *graph.Graph, _ VertexID) int { return 0 }
+func (sparseAggProgram) Compute(ctx *Context[int], id VertexID, _ *int, _ []int) {
+	if ctx.Superstep()%2 == 0 {
+		ctx.AddToAggregate("even", 1)
+	}
+	ctx.SendToNeighbors(id, 1)
+}
+func (sparseAggProgram) MessageBytes(int) int { return 8 }
+
+func TestAggregateKeySetMatchesTouchedSupersteps(t *testing.T) {
+	g := cycleGraph(20)
+	eng := NewEngine[int, int](g, sparseAggProgram{}, testCfg(3))
+	eng.SetHalt(func(info SuperstepInfo) bool { return info.Superstep >= 4 })
+	res, err := eng.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, sp := range res.Profile.Supersteps {
+		_, present := sp.Aggregates["even"]
+		if s%2 == 0 {
+			if !present || sp.Aggregates["even"] != 20 {
+				t.Errorf("superstep %d: aggregate = %v, want 20", s, sp.Aggregates["even"])
+			}
+		} else if present {
+			t.Errorf("superstep %d: stale aggregate key %v leaked into an untouched superstep", s, sp.Aggregates)
+		}
+	}
+}
+
+// fixedMaxProgram is maxProgram plus the FixedSizeMessager fast path; the
+// counters must be identical to the interface-dispatch path.
+type fixedMaxProgram struct{ maxProgram }
+
+func (fixedMaxProgram) FixedMessageBytes() int { return 8 }
+
+func TestFixedSizeMessagerCountersMatch(t *testing.T) {
+	g := starPlusRing(60)
+	run := func(p Program[int, int]) string {
+		eng := NewEngine[int, int](g, p, testCfg(4))
+		res, err := eng.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Profile.Fingerprint()
+	}
+	if got, want := run(fixedMaxProgram{}), run(maxProgram{}); got != want {
+		t.Errorf("fixed-size byte counting diverges from MessageBytes dispatch: %s vs %s", got, want)
+	}
+}
+
+// TestPersistentWorkersExit pins the engine's goroutine hygiene: repeated
+// runs must not leak the persistent worker goroutines.
+func TestPersistentWorkersExit(t *testing.T) {
+	g := cycleGraph(50)
+	before := runtime.NumGoroutine()
+	for i := 0; i < 25; i++ {
+		eng := NewEngine[int, int](g, maxProgram{}, testCfg(5))
+		if _, err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Workers exit asynchronously after Run returns; give them a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+5 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines grew from %d to %d after 25 runs — persistent workers leak",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,6 +1,12 @@
 package bsp
 
 import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+
 	"predict/internal/cluster"
 )
 
@@ -90,3 +96,59 @@ func (p *Profile) TotalSeconds() float64 {
 
 // Iterations is the number of executed supersteps.
 func (p *Profile) Iterations() int { return len(p.Supersteps) }
+
+// Fingerprint digests every simulation-visible bit of the profile into a
+// short hex string: partitioning, per-superstep per-worker counters,
+// worker seconds, superstep seconds and aggregates (exact float64 bits),
+// and the phase times. WallNanos is excluded — it is host timing, not
+// simulation output. Two runs are bit-identical iff their fingerprints
+// match, which is what the engine-determinism regression tests pin.
+func (p *Profile) Fingerprint() string {
+	h := fnv.New64a()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wi := func(v int64) { wu(uint64(v)) }
+	wf := func(v float64) { wu(math.Float64bits(v)) }
+
+	wi(int64(p.NumWorkers))
+	wi(p.GraphVertices)
+	wi(p.GraphEdges)
+	for _, v := range p.WorkerVertices {
+		wi(v)
+	}
+	for _, v := range p.WorkerOutEdges {
+		wi(v)
+	}
+	wf(p.SetupSeconds)
+	wf(p.ReadSeconds)
+	wf(p.WriteSeconds)
+	for i := range p.Supersteps {
+		sp := &p.Supersteps[i]
+		for _, l := range sp.Workers {
+			wi(l.ActiveVertices)
+			wi(l.TotalVertices)
+			wi(l.LocalMessages)
+			wi(l.RemoteMessages)
+			wi(l.LocalMessageBytes)
+			wi(l.RemoteMessageBytes)
+			wi(l.SpilledBytes)
+		}
+		for _, s := range sp.WorkerSeconds {
+			wf(s)
+		}
+		wf(sp.Seconds)
+		names := make([]string, 0, len(sp.Aggregates))
+		for k := range sp.Aggregates {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		for _, k := range names {
+			h.Write([]byte(k))
+			wf(sp.Aggregates[k])
+		}
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"sort"
+	"testing"
+
+	"predict/internal/algorithms"
+	"predict/internal/bsp"
+	"predict/internal/cluster"
+	"predict/internal/features"
+)
+
+// fitPins pin the full fit pipeline — fitted coefficients, intercept, R²,
+// iteration count and per-iteration predictions, exact float64 bits —
+// across sample-cluster worker counts {1, 2, 7} and two base seeds. The
+// engine rewrite (persistent workers, reused buffers, send-side exact
+// combining) must not move any of these: coefficients derive from
+// send-time counters and the master's oracle pricing, both of which the
+// engine-determinism pins hold bit-identical to the pre-rewrite message
+// path. Regenerate (only after a justified semantics change) with:
+//
+//	PREDICT_CAPTURE_PINS=1 go test ./internal/core -run TestFitCoefficientsPinnedAcrossWorkers -v
+var fitPins = map[string]string{
+	"s5/w1":  "c7c2b8ece48dba8e",
+	"s5/w2":  "316da447a8b41aef",
+	"s5/w7":  "9426463f167c1a2c",
+	"s11/w1": "8da3d8e0fa0c9f05",
+	"s11/w2": "6233b94594273603",
+	"s11/w7": "192a08327867e8ab",
+}
+
+// fitFingerprint digests everything a cached model serves from.
+func fitFingerprint(t *testing.T, f *Fitted, perIter []float64) string {
+	t.Helper()
+	h := fnv.New64a()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wf := func(v float64) { wu(math.Float64bits(v)) }
+
+	coeffs, intercept := f.Model.Coefficients()
+	names := make([]string, 0, len(coeffs))
+	for name := range coeffs {
+		names = append(names, string(name))
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h.Write([]byte(name))
+		wf(coeffs[features.Name(name)])
+	}
+	wf(intercept)
+	wf(f.Model.R2())
+	wu(uint64(f.Iterations))
+	for _, s := range perIter {
+		wf(s)
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+func TestFitCoefficientsPinnedAcrossWorkers(t *testing.T) {
+	capture := os.Getenv("PREDICT_CAPTURE_PINS") != ""
+	g := testGraphBA()
+	pr := algorithms.NewPageRank()
+	pr.Tau = algorithms.TauForTolerance(0.001, g.NumVertices())
+
+	for _, seed := range []uint64{5, 11} {
+		for _, workers := range []int{1, 2, 7} {
+			key := fmt.Sprintf("s%d/w%d", seed, workers)
+			o := cluster.DefaultOracle()
+			o.NoiseStdDev = 0.02
+			o.MemoryBudgetBytes = 0
+			opts := testOptions(0.1)
+			opts.Sampling.Seed = seed
+			opts.BSP = bsp.Config{Workers: workers, Oracle: &o, Seed: seed}
+			fitted, err := New(opts).Fit(pr, g)
+			if err != nil {
+				t.Fatalf("%s: Fit: %v", key, err)
+			}
+			pred, err := fitted.Extrapolate(g, 0)
+			if err != nil {
+				t.Fatalf("%s: Extrapolate: %v", key, err)
+			}
+			got := fitFingerprint(t, fitted, pred.PerIterationSeconds)
+			if capture {
+				fmt.Printf("\t%q: %q,\n", key, got)
+				continue
+			}
+			if want := fitPins[key]; got != want {
+				t.Errorf("%s: fit fingerprint %s, pinned %s — coefficients or predictions moved bit-wise", key, got, want)
+			}
+		}
+	}
+}

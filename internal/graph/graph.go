@@ -12,6 +12,8 @@ package graph
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // VertexID identifies a vertex. IDs are dense: every graph with n vertices
@@ -25,8 +27,11 @@ type Graph struct {
 	edges   []VertexID // concatenated adjacency lists, sorted per vertex
 	weights []float32  // optional, parallel to edges; nil if unweighted
 
-	// Reverse adjacency (in-edges), built lazily by EnsureInEdges or by the
-	// builder when requested.
+	// Reverse adjacency (in-edges), built lazily — and concurrency-safely —
+	// by EnsureInEdges. inOnce serializes the build; inBuilt publishes its
+	// completion to lock-free readers (HasInEdges).
+	inOnce    sync.Once
+	inBuilt   atomic.Bool
 	inOffsets []int64
 	inEdges   []VertexID
 }
@@ -68,15 +73,20 @@ func (g *Graph) OutWeights(v VertexID) []float32 {
 }
 
 // HasInEdges reports whether the reverse adjacency has been materialized.
-func (g *Graph) HasInEdges() bool { return g.inOffsets != nil }
+// It is safe to call concurrently with EnsureInEdges.
+func (g *Graph) HasInEdges() bool { return g.inBuilt.Load() }
 
-// EnsureInEdges materializes the reverse adjacency (in-edges) if it has not
-// been built yet. It is not safe for concurrent use with itself; callers
-// that share a Graph across goroutines should call it once up front.
+// EnsureInEdges materializes the reverse adjacency (in-edges) if it has
+// not been built yet. It is safe for concurrent use: parallel fit
+// pipelines share the base graph (in-degree features, sampling fidelity),
+// so the build is serialized behind a sync.Once and every caller returns
+// with the reverse adjacency visible (the Once gives the happens-before
+// edge).
 func (g *Graph) EnsureInEdges() {
-	if g.inOffsets != nil {
-		return
-	}
+	g.inOnce.Do(g.buildInEdges)
+}
+
+func (g *Graph) buildInEdges() {
 	n := g.NumVertices()
 	inDeg := make([]int64, n+1)
 	for _, dst := range g.edges {
@@ -96,6 +106,7 @@ func (g *Graph) EnsureInEdges() {
 	}
 	g.inOffsets = inDeg
 	g.inEdges = inEdges
+	g.inBuilt.Store(true)
 }
 
 // InDegree reports the number of in-edges of v. It requires in-edges to be

@@ -74,6 +74,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// newRNG builds the sampling PCG stream for a seed: the second word is a
+// fixed xor-mix of the first, so equal seeds give identical walks.
+func newRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x6a09e667f3bcc909))
+}
+
 // DeriveSeed maps a base sampling seed and a stream index to the seed of
 // the stream-th auxiliary sampling run (the fit pipeline's per-training-
 // ratio runs). The derivation depends only on base and stream — never on
@@ -118,7 +124,7 @@ func Sample(g *graph.Graph, method Method, opts Options) (*Result, error) {
 	if target > n {
 		target = n
 	}
-	rng := rand.New(rand.NewPCG(opts.Seed, opts.Seed^0x6a09e667f3bcc909))
+	rng := newRNG(opts.Seed)
 
 	var visited []graph.VertexID
 	switch method {
