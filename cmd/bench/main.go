@@ -11,6 +11,10 @@
 //	warm_extrapolate      Fitted.Extrapolate on the cached model
 //	engine_superstep      steady-state cost of one BSP superstep (setup
 //	                      subtracted by differencing run lengths)
+//	sampling_brj          one BRJ sample draw (walk + subgraph induction),
+//	                      the unit cost a cold fit pays per training ratio
+//	induced_subgraph      direct-CSR subgraph induction alone, on a fixed
+//	                      pre-drawn vertex set
 //	service_end_to_end    a mixed cold/warm workload over the HTTP service
 //
 // Every scenario also records allocs_per_op and bytes_per_op from
@@ -22,6 +26,7 @@
 //	bench                                  # report only
 //	bench -min-speedup 1.5                 # CI gate: exit 1 below 1.5x
 //	bench -max-superstep-allocs 32         # CI gate: engine allocs/superstep
+//	bench -max-coldfit-allocs 2500         # CI gate: sequential cold-fit allocs
 //	PREDICT_BENCH_SCALE=0.08 bench         # smaller dataset stand-ins
 //
 // Timings vary with the host; everything else — samples, models,
@@ -110,9 +115,10 @@ func main() {
 		runs       = flag.Int("runs", 3, "repetitions per cold-fit and engine_superstep scenario (best time, mean allocs)")
 		minSpeedup = flag.Float64("min-speedup", 0, "fail (exit 1) if parallel cold-fit speedup is below this (0 disables the gate)")
 		maxSSAlloc = flag.Float64("max-superstep-allocs", 0, "fail (exit 1) if steady-state engine allocs per superstep exceed this (0 disables the gate)")
+		maxCFAlloc = flag.Float64("max-coldfit-allocs", 0, "fail (exit 1) if sequential cold-fit allocs per op exceed this (0 disables the gate)")
 	)
 	flag.Parse()
-	if err := run(*out, *dataset, *scale, *runs, *minSpeedup, *maxSSAlloc); err != nil {
+	if err := run(*out, *dataset, *scale, *runs, *minSpeedup, *maxSSAlloc, *maxCFAlloc); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
@@ -155,7 +161,7 @@ func benchScale(flagScale float64) (float64, error) {
 	return benchenv.Scale(0.1)
 }
 
-func run(out, dataset string, flagScale float64, runs int, minSpeedup, maxSSAlloc float64) error {
+func run(out, dataset string, flagScale float64, runs int, minSpeedup, maxSSAlloc, maxCFAlloc float64) error {
 	scale, err := benchScale(flagScale)
 	if err != nil {
 		return err
@@ -215,6 +221,18 @@ func run(out, dataset string, flagScale float64, runs int, minSpeedup, maxSSAllo
 	}
 	res.add(*ssScn)
 
+	brjScn, err := samplingBRJ(g)
+	if err != nil {
+		return fmt.Errorf("sampling_brj: %w", err)
+	}
+	res.add(*brjScn)
+
+	subScn, err := inducedSubgraph(g)
+	if err != nil {
+		return fmt.Errorf("induced_subgraph: %w", err)
+	}
+	res.add(*subScn)
+
 	svcScenario, err := serviceEndToEnd(dataset, scale)
 	if err != nil {
 		return fmt.Errorf("service_end_to_end: %w", err)
@@ -224,8 +242,8 @@ func run(out, dataset string, flagScale float64, runs int, minSpeedup, maxSSAllo
 	if err := writeResults(out, res); err != nil {
 		return err
 	}
-	fmt.Printf("bench: wrote %s (cold-fit speedup %.2fx, coefficients match %v, superstep allocs/op %.1f)\n",
-		out, speedup, match, ssScn.AllocsPerOp)
+	fmt.Printf("bench: wrote %s (cold-fit speedup %.2fx, coefficients match %v, superstep allocs/op %.1f, cold-fit allocs/op %.0f)\n",
+		out, speedup, match, ssScn.AllocsPerOp, seqScn.AllocsPerOp)
 
 	if !match {
 		return fmt.Errorf("parallel fit is not bit-identical to the sequential baseline")
@@ -237,6 +255,10 @@ func run(out, dataset string, flagScale float64, runs int, minSpeedup, maxSSAllo
 	if maxSSAlloc > 0 && ssScn.AllocsPerOp > maxSSAlloc {
 		return fmt.Errorf("engine steady state allocates %.1f per superstep, above the %.1f gate",
 			ssScn.AllocsPerOp, maxSSAlloc)
+	}
+	if maxCFAlloc > 0 && seqScn.AllocsPerOp > maxCFAlloc {
+		return fmt.Errorf("sequential cold fit allocates %.0f per op, above the %.0f gate",
+			seqScn.AllocsPerOp, maxCFAlloc)
 	}
 	return nil
 }
@@ -345,13 +367,13 @@ func modelFingerprint(f *core.Fitted, g *graph.Graph) ([]byte, error) {
 	return json.Marshal(fp)
 }
 
-// warmExtrapolate measures the cached-model path: Extrapolate on the full
-// graph, the operation every cache hit pays.
-func warmExtrapolate(f *core.Fitted, g *graph.Graph) (*Scenario, error) {
-	const ops = 2000
+// measureLoop measures a repeated steady-state operation: op runs ops
+// times inside one measureOp window and the totals are divided back to
+// per-op figures.
+func measureLoop(name string, ops int, op func() error) (*Scenario, error) {
 	total, allocs, bytes, err := measureOp(1, func() error {
 		for i := 0; i < ops; i++ {
-			if _, err := f.Extrapolate(g, 0); err != nil {
+			if err := op(); err != nil {
 				return err
 			}
 		}
@@ -360,11 +382,20 @@ func warmExtrapolate(f *core.Fitted, g *graph.Graph) (*Scenario, error) {
 	if err != nil {
 		return nil, err
 	}
-	ns := total / ops
+	ns := total / float64(ops)
 	return &Scenario{
-		Name: "warm_extrapolate", Runs: 1, NsPerOp: ns, OpsPerS: opsPerS(ns),
-		AllocsPerOp: allocs / ops, BytesPerOp: bytes / ops,
+		Name: name, Runs: 1, NsPerOp: ns, OpsPerS: opsPerS(ns),
+		AllocsPerOp: allocs / float64(ops), BytesPerOp: bytes / float64(ops),
 	}, nil
+}
+
+// warmExtrapolate measures the cached-model path: Extrapolate on the full
+// graph, the operation every cache hit pays.
+func warmExtrapolate(f *core.Fitted, g *graph.Graph) (*Scenario, error) {
+	return measureLoop("warm_extrapolate", 2000, func() error {
+		_, err := f.Extrapolate(g, 0)
+		return err
+	})
 }
 
 // ssProgram is the engine_superstep scenario's vertex program: the
@@ -431,6 +462,38 @@ func engineSuperstep(g *graph.Graph, runs int) (*Scenario, error) {
 		AllocsPerOp: perStep(longAllocs, setupAllocs),
 		BytesPerOp:  perStep(longBytes, setupBytes),
 	}, nil
+}
+
+// samplingBRJ measures one Biased Random Jump sample draw — seed
+// selection, the walk and the direct-CSR subgraph induction — the unit
+// cost every cold fit pays once per training ratio. The first draw builds
+// the per-graph degree artifacts; the measured loop is the steady state a
+// fit's second, third, ... samples (and every later fit on the same
+// cached graph) run at.
+func samplingBRJ(g *graph.Graph) (*Scenario, error) {
+	opts := sampling.Options{Ratio: 0.10, Seed: 1}
+	if _, err := sampling.Sample(g, sampling.BiasedRandomJump, opts); err != nil {
+		return nil, err
+	}
+	return measureLoop("sampling_brj", 100, func() error {
+		_, err := sampling.Sample(g, sampling.BiasedRandomJump, opts)
+		return err
+	})
+}
+
+// inducedSubgraph measures the direct-CSR induction alone on a fixed
+// pre-drawn vertex set (a 10% BRJ sample's visit sequence), isolating the
+// two-pass CSR construction from walk randomness.
+func inducedSubgraph(g *graph.Graph) (*Scenario, error) {
+	s, err := sampling.Sample(g, sampling.BiasedRandomJump, sampling.Options{Ratio: 0.10, Seed: 1})
+	if err != nil {
+		return nil, err
+	}
+	verts := s.Vertices
+	return measureLoop("induced_subgraph", 100, func() error {
+		_, _, err := graph.InducedSubgraph(g, verts)
+		return err
+	})
 }
 
 // serviceEndToEnd drives a mixed workload through the HTTP service: three

@@ -104,6 +104,14 @@ func (p *Predictor) Fit(alg algorithms.Algorithm, g *graph.Graph) (*Fitted, erro
 // (sampling.DeriveSeed), so the fitted model's coefficients are
 // bit-identical at every parallelism level. Cancellation is observed
 // between pipeline stages, not inside a profiled run.
+//
+// The sampling stages are allocation-light by construction: every pipeline
+// draws on pooled sampling workspaces (epoch-stamped membership tables,
+// reused visited buffers) and on g's shared degree artifacts (the BRJ seed
+// ordering is built once per graph, not once per ratio), so a fit's four
+// training-ratio samples — and every later fit on the same cached graph —
+// reuse the same steady-state memory whether they run sequentially or
+// fanned out on the pool. See DESIGN.md §8.
 func (p *Predictor) FitContext(ctx context.Context, alg algorithms.Algorithm, g *graph.Graph) (*Fitted, error) {
 	// Task 0 is the main sample run; the rest are the additional
 	// training-ratio runs in declaration order, each seeded from its

@@ -3,7 +3,6 @@ package graph
 import (
 	"errors"
 	"fmt"
-	"sort"
 )
 
 // Builder accumulates edges and produces an immutable Graph. Edges may be
@@ -101,9 +100,13 @@ func (b *Builder) Build() (*Graph, error) {
 		cursor[s]++
 	}
 
-	// Per-bucket sort + dedup, compacting in place.
+	// Per-bucket sort + dedup, compacting in place. Weighted buckets sort
+	// stably (on a scratch reused across buckets) so dedup keeps the first
+	// weight *added*; unweighted buckets use the allocation-free in-place
+	// sort — equal ints are indistinguishable, so stability is moot.
 	outEdges := edges[:0]
 	var outWeights []float32
+	var pairScratch []dstWeight
 	if weights != nil {
 		outWeights = weights[:0]
 	}
@@ -114,9 +117,9 @@ func (b *Builder) Build() (*Graph, error) {
 		var wbucket []float32
 		if weights != nil {
 			wbucket = weights[lo:hi]
-			sortPairs(bucket, wbucket)
+			pairScratch = sortPairsStable(bucket, wbucket, pairScratch)
 		} else {
-			sort.Slice(bucket, func(i, j int) bool { return bucket[i] < bucket[j] })
+			sortDual(bucket, nil)
 		}
 		var prev VertexID = -1
 		for i, dst := range bucket {
@@ -144,26 +147,6 @@ func (b *Builder) Build() (*Graph, error) {
 	// Release builder storage.
 	b.srcs, b.dsts, b.weights = nil, nil, nil
 	return g, nil
-}
-
-// sortPairs sorts dsts ascending, permuting ws in lockstep.
-func sortPairs(dsts []VertexID, ws []float32) {
-	type pair struct {
-		d VertexID
-		w float32
-	}
-	if len(dsts) < 2 {
-		return
-	}
-	pairs := make([]pair, len(dsts))
-	for i := range dsts {
-		pairs[i] = pair{dsts[i], ws[i]}
-	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].d < pairs[j].d })
-	for i := range pairs {
-		dsts[i] = pairs[i].d
-		ws[i] = pairs[i].w
-	}
 }
 
 // FromEdges is a convenience constructor building an unweighted graph from

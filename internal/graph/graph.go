@@ -34,6 +34,18 @@ type Graph struct {
 	inBuilt   atomic.Bool
 	inOffsets []int64
 	inEdges   []VertexID
+
+	// Degree artifacts (memoized out-degree slices, sorted sequences and
+	// the BRJ seed ordering), built lazily by ensureDegreeArtifacts; see
+	// artifacts.go. The sync.Once publishes deg with a happens-before edge
+	// for every caller, the same discipline as EnsureInEdges.
+	degOnce sync.Once
+	deg     *degreeArtifacts
+
+	// Sorted in-degree sequence, memoized separately because it needs the
+	// reverse adjacency first.
+	inDegOnce   sync.Once
+	sortedInDeg []int
 }
 
 // NumVertices reports the number of vertices.
@@ -152,15 +164,10 @@ func (g *Graph) AvgOutDegree() float64 {
 	return float64(g.NumEdges()) / float64(n)
 }
 
-// MaxOutDegree reports the largest out-degree in the graph.
+// MaxOutDegree reports the largest out-degree in the graph, from the
+// memoized degree artifacts (no sort, O(1) after the first call).
 func (g *Graph) MaxOutDegree() int {
-	maxDeg := 0
-	for v := 0; v < g.NumVertices(); v++ {
-		if d := g.OutDegree(VertexID(v)); d > maxDeg {
-			maxDeg = d
-		}
-	}
-	return maxDeg
+	return g.ensureDegreeArtifacts().maxOut
 }
 
 // String summarizes the graph as "Graph(n=..., m=...)".

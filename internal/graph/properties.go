@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"sort"
+	"sync"
 )
 
 // DegreeStats summarizes a degree sequence.
@@ -74,15 +75,24 @@ func PowerLawAlpha(degrees []int, dmin int) float64 {
 // CDFs. It is the fidelity measure Leskovec & Faloutsos use to compare a
 // sample's degree distribution against the full graph's.
 func KolmogorovSmirnov(a, b []int) float64 {
-	if len(a) == 0 || len(b) == 0 {
-		return 1
-	}
 	sa := make([]int, len(a))
 	copy(sa, a)
 	sort.Ints(sa)
 	sb := make([]int, len(b))
 	copy(sb, b)
 	sort.Ints(sb)
+	return KolmogorovSmirnovSorted(sa, sb)
+}
+
+// KolmogorovSmirnovSorted is KolmogorovSmirnov over sequences that are
+// already sorted ascending — the memoized form SortedOutDegrees and
+// SortedInDegrees serve — so repeated fidelity measurements against the
+// same base graph skip the per-call copy and O(n log n) sort. The inputs
+// are read, never modified.
+func KolmogorovSmirnovSorted(sa, sb []int) float64 {
+	if len(sa) == 0 || len(sb) == 0 {
+		return 1
+	}
 	i, j := 0, 0
 	var d float64
 	for i < len(sa) && j < len(sb) {
@@ -107,6 +117,28 @@ func KolmogorovSmirnov(a, b []int) float64 {
 	return d
 }
 
+// bfsScratch is the reusable BFS workspace EffectiveDiameter runs on: an
+// epoch-stamped distance table (seen.Marked(v) means dist[v] is valid for
+// the current source) and a queue walked by head index instead of
+// re-slicing. Pooled so concurrent property measurements do not contend.
+type bfsScratch struct {
+	seen  EpochTable
+	dist  []int32
+	queue []VertexID
+}
+
+var bfsScratchPool = sync.Pool{New: func() any { return new(bfsScratch) }}
+
+func (s *bfsScratch) size(n int) {
+	if s.seen.Reset(n) {
+		s.dist = make([]int32, n)
+	}
+	s.dist = s.dist[:n]
+	if cap(s.queue) < n {
+		s.queue = make([]VertexID, 0, n)
+	}
+}
+
 // EffectiveDiameter estimates the effective diameter of g: the smallest
 // hop count within which at least quantile (e.g. 0.9) of all *reachable*
 // source/destination pairs can reach each other, following out-edges.
@@ -125,24 +157,25 @@ func EffectiveDiameter(g *Graph, quantile float64, sources int, rng *rand.Rand) 
 
 	// hopCounts[h] = number of (src, dst) pairs at BFS distance exactly h.
 	hopCounts := make([]int64, 1, 64)
-	dist := make([]int32, n)
-	queue := make([]VertexID, 0, n)
+	sc := bfsScratchPool.Get().(*bfsScratch)
+	defer bfsScratchPool.Put(sc)
+	sc.size(n)
 	for _, srcIdx := range order {
-		for i := range dist {
-			dist[i] = -1
-		}
+		// A fresh epoch invalidates every dist entry in O(1) instead of
+		// the per-source O(n) -1 refill.
+		sc.seen.Bump()
 		src := VertexID(srcIdx)
-		dist[src] = 0
-		queue = queue[:0]
-		queue = append(queue, src)
+		sc.seen.Mark(src)
+		sc.dist[src] = 0
+		queue := append(sc.queue[:0], src)
 		hopCounts[0]++
-		for len(queue) > 0 {
-			v := queue[0]
-			queue = queue[1:]
-			dv := dist[v]
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			dv := sc.dist[v]
 			for _, w := range g.OutNeighbors(v) {
-				if dist[w] < 0 {
-					dist[w] = dv + 1
+				if !sc.seen.Marked(w) {
+					sc.seen.Mark(w)
+					sc.dist[w] = dv + 1
 					for int(dv)+1 >= len(hopCounts) {
 						hopCounts = append(hopCounts, 0)
 					}
@@ -151,6 +184,7 @@ func EffectiveDiameter(g *Graph, quantile float64, sources int, rng *rand.Rand) 
 				}
 			}
 		}
+		sc.queue = queue[:0]
 	}
 
 	var total int64
@@ -317,12 +351,16 @@ type Properties struct {
 // BFS sources and clustering samples (both bounded by n).
 func Measure(g *Graph, bfsSources, ccSamples int, seed uint64) Properties {
 	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
-	degs := g.OutDegrees()
+	// The shared memoized degree slice: MaxOutDegree comes straight from
+	// the degree artifact (the old NewDegreeStats(degs).Max paid a full
+	// O(n log n) sort just to read the last element), and PowerLawAlpha
+	// only reads the sequence.
+	degs := g.CachedOutDegrees()
 	return Properties{
 		NumVertices:       g.NumVertices(),
 		NumEdges:          g.NumEdges(),
 		AvgOutDegree:      g.AvgOutDegree(),
-		MaxOutDegree:      NewDegreeStats(degs).Max,
+		MaxOutDegree:      g.MaxOutDegree(),
 		EffectiveDiameter: EffectiveDiameter(g, 0.9, bfsSources, rng),
 		Clustering:        ClusteringCoefficient(g, ccSamples, rng),
 		PowerLawAlpha:     PowerLawAlpha(degs, 2),

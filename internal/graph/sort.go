@@ -1,0 +1,162 @@
+package graph
+
+import "slices"
+
+// EpochTable is the shared core of every pooled scratch in the
+// sampling→subgraph pipeline: a stamp array where stamp[v] == epoch means
+// "v is marked for the current use". Bumping the epoch invalidates every
+// mark in O(1), replacing the O(n) clear/refill the pre-rewrite code paid
+// per use. The wrap case (once per 2^32 uses) clears the full capacity —
+// not just the current length — so stale stamps beyond a smaller graph's
+// prefix can never collide with a reissued epoch.
+type EpochTable struct {
+	epoch uint32
+	stamp []uint32
+}
+
+// Reset sizes the table for n entries and invalidates all marks. It
+// reports whether the backing array was reallocated, so callers can
+// resize parallel payload arrays in the same breath.
+func (t *EpochTable) Reset(n int) (resized bool) {
+	if cap(t.stamp) < n {
+		t.stamp = make([]uint32, n)
+		t.epoch = 0
+		resized = true
+	}
+	t.stamp = t.stamp[:n]
+	t.Bump()
+	return resized
+}
+
+// Bump starts a fresh epoch over the current length, invalidating all
+// marks in O(1).
+func (t *EpochTable) Bump() {
+	t.epoch++
+	if t.epoch == 0 { // wrapped: one real clear, then restart
+		clear(t.stamp[:cap(t.stamp)])
+		t.epoch = 1
+	}
+}
+
+func (t *EpochTable) Mark(v VertexID)        { t.stamp[v] = t.epoch }
+func (t *EpochTable) Marked(v VertexID) bool { return t.stamp[v] == t.epoch }
+
+// sortDual sorts dsts ascending in place, permuting ws in lockstep when it
+// is non-nil. It replaces the old sortPairs, which materialized a fresh
+// []pair per adjacency bucket and sorted it through reflect-based
+// sort.Slice — one short-lived allocation (plus closure boxing) per vertex
+// per subgraph induction, which dominated the allocation profile of the
+// sampling pipeline. The weighted path is a hand-rolled quicksort (median-
+// of-three pivot, recursion on the smaller half, insertion sort below a
+// small threshold) so the whole sort is allocation-free.
+//
+// The weighted sort is NOT stable: equal keys may come out in any order.
+// That is fine for subgraph induction, whose buckets cannot contain
+// duplicate keys (a built Graph's adjacency is deduplicated and the
+// relabeling is injective). Builder.Build, whose buckets can contain
+// parallel edges and whose dedup contract is "first weight seen wins",
+// uses the stable sortPairsStable instead.
+func sortDual(dsts []VertexID, ws []float32) {
+	if len(dsts) < 2 {
+		return
+	}
+	if ws == nil {
+		slices.Sort(dsts) // non-reflect pdqsort, allocation-free
+		return
+	}
+	quickDual(dsts, ws)
+}
+
+// insertionThreshold is the bucket size below which insertion sort beats
+// quicksort's partitioning overhead.
+const insertionThreshold = 12
+
+func quickDual(d []VertexID, w []float32) {
+	for len(d) > insertionThreshold {
+		p := partitionDual(d, w)
+		// Recurse into the smaller half, loop on the larger: stack depth
+		// stays O(log n) even on adversarial inputs.
+		if p < len(d)-p-1 {
+			quickDual(d[:p], w[:p])
+			d, w = d[p+1:], w[p+1:]
+		} else {
+			quickDual(d[p+1:], w[p+1:])
+			d, w = d[:p], w[:p]
+		}
+	}
+	for i := 1; i < len(d); i++ {
+		for j := i; j > 0 && d[j] < d[j-1]; j-- {
+			d[j], d[j-1] = d[j-1], d[j]
+			w[j], w[j-1] = w[j-1], w[j]
+		}
+	}
+}
+
+// partitionDual partitions around a median-of-three pivot and returns its
+// final index.
+func partitionDual(d []VertexID, w []float32) int {
+	mid, last := len(d)/2, len(d)-1
+	if d[mid] < d[0] {
+		swapDual(d, w, 0, mid)
+	}
+	if d[last] < d[0] {
+		swapDual(d, w, 0, last)
+	}
+	if d[last] < d[mid] {
+		swapDual(d, w, mid, last)
+	}
+	swapDual(d, w, mid, last) // pivot (the median) to the end
+	pivot := d[last]
+	i := 0
+	for j := 0; j < last; j++ {
+		if d[j] < pivot {
+			swapDual(d, w, i, j)
+			i++
+		}
+	}
+	swapDual(d, w, i, last)
+	return i
+}
+
+func swapDual(d []VertexID, w []float32, i, j int) {
+	d[i], d[j] = d[j], d[i]
+	w[i], w[j] = w[j], w[i]
+}
+
+// dstWeight pairs a destination with its weight for the Builder's stable
+// weighted bucket sort.
+type dstWeight struct {
+	d VertexID
+	w float32
+}
+
+// sortPairsStable sorts dsts ascending, permuting ws in lockstep and
+// keeping equal keys in their incoming order. Stability is what makes
+// Build's "first weight seen wins" dedup contract actually hold: buckets
+// arrive in edge-insertion order (the counting-sort scatter preserves it),
+// so after a stable sort the first entry of an equal-key run is the first
+// edge added. (The old reflect-based sort.Slice was unstable, so the
+// contract was only honored by accident of pdqsort's permutation.) The
+// pair scratch is reused across buckets — one amortized allocation per
+// Build, none per bucket; the possibly-grown scratch is returned for the
+// next call.
+func sortPairsStable(dsts []VertexID, ws []float32, scratch []dstWeight) []dstWeight {
+	if len(dsts) < 2 {
+		return scratch
+	}
+	if cap(scratch) < len(dsts) {
+		scratch = make([]dstWeight, len(dsts))
+	}
+	scratch = scratch[:len(dsts)]
+	for i := range dsts {
+		scratch[i] = dstWeight{dsts[i], ws[i]}
+	}
+	slices.SortStableFunc(scratch, func(a, b dstWeight) int {
+		return int(a.d) - int(b.d)
+	})
+	for i := range scratch {
+		dsts[i] = scratch[i].d
+		ws[i] = scratch[i].w
+	}
+	return scratch
+}

@@ -1,23 +1,43 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Mapping relates the vertices of an induced subgraph to the vertices of
 // the graph it was taken from.
 type Mapping struct {
 	// ToOriginal maps a subgraph vertex ID to the original graph vertex ID.
 	ToOriginal []VertexID
+	// originalN is the original graph's vertex count, kept so the reverse
+	// table can be materialized on demand.
+	originalN int
 	// toSample maps an original vertex ID to the subgraph vertex ID, or -1
-	// if the vertex was not sampled.
-	toSample []VertexID
+	// if the vertex was not sampled. It is built lazily — most samples are
+	// drawn, profiled and discarded without a single reverse lookup, so the
+	// O(n) table would be wasted work on the sampling hot path.
+	sampleOnce sync.Once
+	toSample   []VertexID
 }
 
 // OriginalOf returns the original-graph ID of subgraph vertex v.
 func (m *Mapping) OriginalOf(v VertexID) VertexID { return m.ToOriginal[v] }
 
 // SampleOf returns the subgraph ID of original vertex v and whether v is in
-// the subgraph.
+// the subgraph. The first call materializes the reverse table; it is safe
+// for concurrent use.
 func (m *Mapping) SampleOf(v VertexID) (VertexID, bool) {
+	m.sampleOnce.Do(func() {
+		ts := make([]VertexID, m.originalN)
+		for i := range ts {
+			ts[i] = -1
+		}
+		for i, orig := range m.ToOriginal {
+			ts[orig] = VertexID(i)
+		}
+		m.toSample = ts
+	})
 	s := m.toSample[v]
 	return s, s >= 0
 }
@@ -25,46 +45,99 @@ func (m *Mapping) SampleOf(v VertexID) (VertexID, bool) {
 // Len reports the number of sampled vertices.
 func (m *Mapping) Len() int { return len(m.ToOriginal) }
 
+// subgraphScratch is the reusable induction workspace: an epoch-stamped
+// membership table (see EpochTable) with a parallel relabel array, sized
+// to the base graph. Bumping the epoch invalidates the whole table in
+// O(1), so repeated inductions on the same base graph (one per training
+// ratio per fit) skip the O(n) refill the old implementation paid per
+// call. Pooled because fit pipelines run concurrently.
+type subgraphScratch struct {
+	in       EpochTable
+	sampleID []VertexID // valid only where in.Marked(v)
+}
+
+var subgraphScratchPool = sync.Pool{New: func() any { return new(subgraphScratch) }}
+
+// begin prepares the scratch for a base graph of n vertices.
+func (s *subgraphScratch) begin(n int) {
+	if s.in.Reset(n) {
+		s.sampleID = make([]VertexID, n)
+	}
+	s.sampleID = s.sampleID[:n]
+}
+
 // InducedSubgraph returns the subgraph of g induced by the given vertex
 // set: the vertices are relabeled densely in the order given, and every
 // edge of g with both endpoints in the set is kept (with its weight).
-// Duplicate vertices in the set are rejected.
+// Duplicate vertices in the set are rejected, and self-loops are dropped
+// (matching the Builder default the sampler has always used).
+//
+// The CSR is built directly in two passes over the relevant adjacency
+// lists — count, then fill + per-bucket sort — sized exactly, with no
+// intermediate triple edge list. Dedup is unnecessary: a built Graph's
+// adjacency lists carry no parallel edges and the relabeling is injective,
+// so the induced lists cannot contain duplicates either.
 func InducedSubgraph(g *Graph, vertices []VertexID) (*Graph, *Mapping, error) {
 	n := g.NumVertices()
-	toSample := make([]VertexID, n)
-	for i := range toSample {
-		toSample[i] = -1
-	}
+	sc := subgraphScratchPool.Get().(*subgraphScratch)
+	defer subgraphScratchPool.Put(sc)
+	sc.begin(n)
+
 	toOriginal := make([]VertexID, len(vertices))
 	for i, v := range vertices {
 		if int(v) < 0 || int(v) >= n {
 			return nil, nil, fmt.Errorf("graph: induced subgraph: vertex %d out of range (n=%d)", v, n)
 		}
-		if toSample[v] != -1 {
+		if sc.in.Marked(v) {
 			return nil, nil, fmt.Errorf("graph: induced subgraph: duplicate vertex %d", v)
 		}
-		toSample[v] = VertexID(i)
+		sc.in.Mark(v)
+		sc.sampleID[v] = VertexID(i)
 		toOriginal[i] = v
 	}
 
-	b := NewBuilder(len(vertices))
+	// Pass 1: exact per-vertex edge counts -> CSR offsets.
+	ns := len(vertices)
+	offsets := make([]int64, ns+1)
 	for i, orig := range toOriginal {
-		ws := g.OutWeights(orig)
-		for j, dst := range g.OutNeighbors(orig) {
-			sd := toSample[dst]
-			if sd < 0 {
-				continue
-			}
-			if ws != nil {
-				b.AddWeightedEdge(VertexID(i), sd, ws[j])
-			} else {
-				b.AddEdge(VertexID(i), sd)
+		cnt := int64(0)
+		for _, dst := range g.OutNeighbors(orig) {
+			if dst != orig && sc.in.Marked(dst) {
+				cnt++
 			}
 		}
+		offsets[i+1] = offsets[i] + cnt
 	}
-	sub, err := b.Build()
-	if err != nil {
-		return nil, nil, err
+
+	// Pass 2: fill relabeled destinations (and weights), then sort each
+	// bucket in place — relabeling does not preserve the base graph's
+	// per-bucket order, so the CSR invariant needs a per-bucket sort.
+	m := offsets[ns]
+	edges := make([]VertexID, m)
+	var weights []float32
+	if g.HasWeights() && m > 0 {
+		weights = make([]float32, m)
 	}
-	return sub, &Mapping{ToOriginal: toOriginal, toSample: toSample}, nil
+	for i, orig := range toOriginal {
+		pos := offsets[i]
+		srcW := g.OutWeights(orig)
+		for j, dst := range g.OutNeighbors(orig) {
+			if dst == orig || !sc.in.Marked(dst) {
+				continue
+			}
+			edges[pos] = sc.sampleID[dst]
+			if weights != nil {
+				weights[pos] = srcW[j]
+			}
+			pos++
+		}
+		if weights != nil {
+			sortDual(edges[offsets[i]:pos], weights[offsets[i]:pos])
+		} else {
+			sortDual(edges[offsets[i]:pos], nil)
+		}
+	}
+
+	sub := &Graph{offsets: offsets, edges: edges, weights: weights}
+	return sub, &Mapping{ToOriginal: toOriginal, originalN: n}, nil
 }

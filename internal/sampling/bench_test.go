@@ -46,13 +46,17 @@ func BenchmarkBRJWalkOnly(b *testing.B) {
 	g := brjBenchGraph(20000)
 	opts := Options{Ratio: 0.10, Seed: 7}.withDefaults()
 	seeds := topOutDegreeSeeds(g, opts.SeedFraction)
-	target := int(float64(g.NumVertices()) * opts.Ratio)
+	n := g.NumVertices()
+	target := int(float64(n) * opts.Ratio)
+	ws := new(workspace)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rng := newRNG(opts.Seed)
-		if got := walkSample(g, target, opts, rng, seeds); len(got) != target {
-			b.Fatalf("walk returned %d vertices, want %d", len(got), target)
+		ws.begin(n, target)
+		walkSample(g, target, opts, rng, seeds, ws)
+		if len(ws.visited) != target {
+			b.Fatalf("walk returned %d vertices, want %d", len(ws.visited), target)
 		}
 	}
 }

@@ -12,7 +12,6 @@ package sampling
 import (
 	"fmt"
 	"math/rand/v2"
-	"sort"
 
 	"predict/internal/graph"
 )
@@ -126,24 +125,36 @@ func Sample(g *graph.Graph, method Method, opts Options) (*Result, error) {
 	}
 	rng := newRNG(opts.Seed)
 
-	var visited []graph.VertexID
+	// The walks run on a pooled workspace (epoch-stamped membership table,
+	// reusable visited buffer): steady-state draws allocate nothing that
+	// scales with the base graph. Nothing in the workspace touches the rng,
+	// so visited sequences are bit-identical to the pre-workspace sampler
+	// (pinned by TestSamplingDeterminismPins).
+	ws := workspacePool.Get().(*workspace)
+	defer workspacePool.Put(ws)
+	ws.begin(n, target)
 	switch method {
 	case RandomJump:
-		visited = walkSample(g, target, opts, rng, nil)
+		walkSample(g, target, opts, rng, nil, ws)
 	case BiasedRandomJump:
-		visited = walkSample(g, target, opts, rng, topOutDegreeSeeds(g, opts.SeedFraction))
+		walkSample(g, target, opts, rng, topOutDegreeSeeds(g, opts.SeedFraction), ws)
 	case MetropolisHastings:
-		visited = mhrwSample(g, target, opts, rng)
+		mhrwSample(g, target, opts, rng, ws)
 	case UniformVertex:
-		visited = uniformSample(n, target, rng)
+		uniformSample(n, target, rng, ws)
 	default:
 		return nil, fmt.Errorf("sampling: unknown method %q", method)
 	}
 
-	sub, mapping, err := graph.InducedSubgraph(g, visited)
+	sub, mapping, err := graph.InducedSubgraph(g, ws.visited)
 	if err != nil {
 		return nil, fmt.Errorf("sampling: inducing subgraph: %w", err)
 	}
+	// Vertices is a private copy of the visit sequence: the workspace
+	// buffer returns to the pool, and Mapping.ToOriginal must stay
+	// unaliased so a caller reordering Vertices cannot corrupt the
+	// mapping's relabeling.
+	visited := append([]graph.VertexID(nil), ws.visited...)
 	res := &Result{
 		Method:      method,
 		Vertices:    visited,
@@ -158,7 +169,10 @@ func Sample(g *graph.Graph, method Method, opts Options) (*Result, error) {
 }
 
 // topOutDegreeSeeds returns the ceil(fraction*n) vertices with the highest
-// out-degrees, ties broken by vertex ID for determinism.
+// out-degrees, ties broken by vertex ID for determinism. The ordering is
+// the graph's memoized degree artifact (counting sort, built once per
+// graph), which reproduces the old per-call sort.Slice total order
+// bit-exactly; the returned prefix is shared and must not be modified.
 func topOutDegreeSeeds(g *graph.Graph, fraction float64) []graph.VertexID {
 	n := g.NumVertices()
 	k := int(float64(n)*fraction + 0.5)
@@ -168,33 +182,14 @@ func topOutDegreeSeeds(g *graph.Graph, fraction float64) []graph.VertexID {
 	if k > n {
 		k = n
 	}
-	ids := make([]graph.VertexID, n)
-	for i := range ids {
-		ids[i] = graph.VertexID(i)
-	}
-	sort.Slice(ids, func(i, j int) bool {
-		di, dj := g.OutDegree(ids[i]), g.OutDegree(ids[j])
-		if di != dj {
-			return di > dj
-		}
-		return ids[i] < ids[j]
-	})
-	return ids[:k]
+	return g.VerticesByOutDegree()[:k]
 }
 
 // walkSample runs random walks with restarts until target distinct vertices
 // are visited. If seeds is nil, restarts are uniform over all vertices
 // (RJ); otherwise restarts are uniform over seeds (BRJ).
-func walkSample(g *graph.Graph, target int, opts Options, rng *rand.Rand, seeds []graph.VertexID) []graph.VertexID {
+func walkSample(g *graph.Graph, target int, opts Options, rng *rand.Rand, seeds []graph.VertexID, ws *workspace) {
 	n := g.NumVertices()
-	inSample := make([]bool, n)
-	visited := make([]graph.VertexID, 0, target)
-	add := func(v graph.VertexID) {
-		if !inSample[v] {
-			inSample[v] = true
-			visited = append(visited, v)
-		}
-	}
 	restart := func() graph.VertexID {
 		if seeds != nil {
 			return seeds[rng.IntN(len(seeds))]
@@ -203,43 +198,34 @@ func walkSample(g *graph.Graph, target int, opts Options, rng *rand.Rand, seeds 
 	}
 
 	cur := restart()
-	add(cur)
+	ws.add(cur)
 	maxSteps := opts.MaxStepFactor * target
-	for steps := 0; len(visited) < target && steps < maxSteps; steps++ {
+	for steps := 0; len(ws.visited) < target && steps < maxSteps; steps++ {
 		adj := g.OutNeighbors(cur)
 		if len(adj) == 0 || rng.Float64() < opts.RestartProb {
 			cur = restart()
 		} else {
 			cur = adj[rng.IntN(len(adj))]
 		}
-		add(cur)
+		ws.add(cur)
 	}
-	fillUniform(inSample, &visited, target, rng)
-	return visited
+	fillUniform(n, target, rng, ws)
 }
 
 // mhrwSample runs a Metropolis–Hastings random walk whose stationary
 // distribution is uniform over vertices: a proposed move from v to w is
 // accepted with probability min(1, deg(v)/deg(w)). Restarts use the same
 // probability as RJ so the walk cannot stall in a sink region.
-func mhrwSample(g *graph.Graph, target int, opts Options, rng *rand.Rand) []graph.VertexID {
+func mhrwSample(g *graph.Graph, target int, opts Options, rng *rand.Rand, ws *workspace) {
 	n := g.NumVertices()
-	inSample := make([]bool, n)
-	visited := make([]graph.VertexID, 0, target)
-	add := func(v graph.VertexID) {
-		if !inSample[v] {
-			inSample[v] = true
-			visited = append(visited, v)
-		}
-	}
 	cur := graph.VertexID(rng.IntN(n))
-	add(cur)
+	ws.add(cur)
 	maxSteps := opts.MaxStepFactor * target
-	for steps := 0; len(visited) < target && steps < maxSteps; steps++ {
+	for steps := 0; len(ws.visited) < target && steps < maxSteps; steps++ {
 		adj := g.OutNeighbors(cur)
 		if len(adj) == 0 || rng.Float64() < opts.RestartProb {
 			cur = graph.VertexID(rng.IntN(n))
-			add(cur)
+			ws.add(cur)
 			continue
 		}
 		proposal := adj[rng.IntN(len(adj))]
@@ -250,40 +236,34 @@ func mhrwSample(g *graph.Graph, target int, opts Options, rng *rand.Rand) []grap
 		}
 		if rng.Float64() < float64(dv)/float64(dw) {
 			cur = proposal
-			add(cur)
+			ws.add(cur)
 		}
 	}
-	fillUniform(inSample, &visited, target, rng)
-	return visited
+	fillUniform(n, target, rng, ws)
 }
 
 // uniformSample picks target vertices uniformly without replacement.
-func uniformSample(n, target int, rng *rand.Rand) []graph.VertexID {
+func uniformSample(n, target int, rng *rand.Rand, ws *workspace) {
 	perm := rng.Perm(n)
-	visited := make([]graph.VertexID, target)
 	for i := 0; i < target; i++ {
-		visited[i] = graph.VertexID(perm[i])
+		ws.add(graph.VertexID(perm[i]))
 	}
-	return visited
 }
 
 // fillUniform tops up a sample to the target size with uniformly chosen
 // unvisited vertices; reached only when walks exhaust their step budget on
-// pathological graphs.
-func fillUniform(inSample []bool, visited *[]graph.VertexID, target int, rng *rand.Rand) {
-	if len(*visited) >= target {
+// pathological graphs. (rng.Perm allocates, but only on that cold path —
+// and only there, so the rng stream stays identical to the old sampler's.)
+func fillUniform(n, target int, rng *rand.Rand, ws *workspace) {
+	if len(ws.visited) >= target {
 		return
 	}
-	n := len(inSample)
 	perm := rng.Perm(n)
 	for _, vi := range perm {
-		if len(*visited) >= target {
+		if len(ws.visited) >= target {
 			return
 		}
-		if !inSample[vi] {
-			inSample[vi] = true
-			*visited = append(*visited, graph.VertexID(vi))
-		}
+		ws.add(graph.VertexID(vi))
 	}
 }
 
@@ -305,11 +285,14 @@ type Fidelity struct {
 	InOutRatioGraph  float64
 }
 
-// MeasureFidelity computes sample-vs-graph fidelity metrics.
+// MeasureFidelity computes sample-vs-graph fidelity metrics. The degree
+// sequences on both sides come from the graphs' memoized sorted-degree
+// artifacts, so measuring many samples against the same base graph pays
+// the full-graph degree sort once instead of once per sample.
 func MeasureFidelity(g *graph.Graph, r *Result) Fidelity {
 	return Fidelity{
-		DStatOut:           graph.KolmogorovSmirnov(r.Graph.OutDegrees(), g.OutDegrees()),
-		DStatIn:            graph.KolmogorovSmirnov(r.Graph.InDegrees(), g.InDegrees()),
+		DStatOut:           graph.KolmogorovSmirnovSorted(r.Graph.SortedOutDegrees(), g.SortedOutDegrees()),
+		DStatIn:            graph.KolmogorovSmirnovSorted(r.Graph.SortedInDegrees(), g.SortedInDegrees()),
 		ConnectivitySample: graph.LargestComponentFraction(r.Graph),
 		ConnectivityGraph:  graph.LargestComponentFraction(g),
 		InOutRatioSample:   graph.InOutRatioStats(r.Graph),

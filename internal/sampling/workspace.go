@@ -1,0 +1,45 @@
+package sampling
+
+import (
+	"sync"
+
+	"predict/internal/graph"
+)
+
+// workspace holds the sampler's reusable per-draw state: the epoch-stamped
+// membership table (graph.EpochTable — bumping the epoch invalidates the
+// whole table in O(1), replacing the O(n) []bool the old sampler allocated
+// and zeroed per draw) and the visited-order scratch buffer the walks
+// append into.
+//
+// Workspaces are pooled: a fit's per-training-ratio pipelines (sequential
+// or fanned out on core's parallel pool) and the service's shared fit pool
+// all draw from the same sync.Pool, so steady-state sampling touches no
+// fresh O(n) memory — each pipeline worker keeps reusing the tables the
+// previous draw warmed. Nothing here consumes randomness, so the rng
+// stream (and therefore every visited sequence) is bit-identical to the
+// pre-workspace sampler.
+type workspace struct {
+	in      graph.EpochTable
+	visited []graph.VertexID
+}
+
+var workspacePool = sync.Pool{New: func() any { return new(workspace) }}
+
+// begin prepares the workspace for one draw over an n-vertex graph with
+// the given target sample size.
+func (w *workspace) begin(n, target int) {
+	w.in.Reset(n)
+	if cap(w.visited) < target {
+		w.visited = make([]graph.VertexID, 0, target)
+	}
+	w.visited = w.visited[:0]
+}
+
+// add appends v to the sample if it is not already in it.
+func (w *workspace) add(v graph.VertexID) {
+	if !w.in.Marked(v) {
+		w.in.Mark(v)
+		w.visited = append(w.visited, v)
+	}
+}

@@ -316,7 +316,14 @@ func (s *Service) graphFor(ctx context.Context, r PredictRequest) (*graph.Graph,
 		if err != nil {
 			return nil, err
 		}
-		return ds.Generate(r.Scale, r.GraphSeed), nil
+		gr := ds.Generate(r.Scale, r.GraphSeed)
+		// Warm the per-graph degree artifacts (BRJ seed ordering, memoized
+		// degree sequences) while the graph is being cached: every cold fit
+		// against this graph — all algorithms, all sampling ratios — shares
+		// them, so the first request should not pay the build inside its
+		// sampling pipeline.
+		gr.EnsureDegreeArtifacts()
+		return gr, nil
 	})
 	return g, err
 }
