@@ -15,6 +15,12 @@
 //	                      the unit cost a cold fit pays per training ratio
 //	induced_subgraph      direct-CSR subgraph induction alone, on a fixed
 //	                      pre-drawn vertex set
+//	graph_load_text       sequential text edge-list parse from disk
+//	                      (graph.ReadEdgeList) — the ingestion baseline
+//	graph_load_parallel   the chunked parallel loader on the same file,
+//	                      plus its speedup and a bit-identity check
+//	graph_load_snapshot   binary CSR snapshot load of the same graph, plus
+//	                      its speedup over the text baseline
 //	service_end_to_end    a mixed cold/warm workload over the HTTP service
 //
 // Every scenario also records allocs_per_op and bytes_per_op from
@@ -27,6 +33,7 @@
 //	bench -min-speedup 1.5                 # CI gate: exit 1 below 1.5x
 //	bench -max-superstep-allocs 32         # CI gate: engine allocs/superstep
 //	bench -max-coldfit-allocs 2500         # CI gate: sequential cold-fit allocs
+//	bench -max-load-allocs 64              # CI gate: snapshot-load allocs
 //	PREDICT_BENCH_SCALE=0.08 bench         # smaller dataset stand-ins
 //
 // Timings vary with the host; everything else — samples, models,
@@ -46,6 +53,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
@@ -116,9 +124,10 @@ func main() {
 		minSpeedup = flag.Float64("min-speedup", 0, "fail (exit 1) if parallel cold-fit speedup is below this (0 disables the gate)")
 		maxSSAlloc = flag.Float64("max-superstep-allocs", 0, "fail (exit 1) if steady-state engine allocs per superstep exceed this (0 disables the gate)")
 		maxCFAlloc = flag.Float64("max-coldfit-allocs", 0, "fail (exit 1) if sequential cold-fit allocs per op exceed this (0 disables the gate)")
+		maxLdAlloc = flag.Float64("max-load-allocs", 0, "fail (exit 1) if snapshot graph-load allocs per op exceed this (0 disables the gate)")
 	)
 	flag.Parse()
-	if err := run(*out, *dataset, *scale, *runs, *minSpeedup, *maxSSAlloc, *maxCFAlloc); err != nil {
+	if err := run(*out, *dataset, *scale, *runs, *minSpeedup, *maxSSAlloc, *maxCFAlloc, *maxLdAlloc); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
@@ -161,7 +170,7 @@ func benchScale(flagScale float64) (float64, error) {
 	return benchenv.Scale(0.1)
 }
 
-func run(out, dataset string, flagScale float64, runs int, minSpeedup, maxSSAlloc, maxCFAlloc float64) error {
+func run(out, dataset string, flagScale float64, runs int, minSpeedup, maxSSAlloc, maxCFAlloc, maxLdAlloc float64) error {
 	scale, err := benchScale(flagScale)
 	if err != nil {
 		return err
@@ -233,6 +242,15 @@ func run(out, dataset string, flagScale float64, runs int, minSpeedup, maxSSAllo
 	}
 	res.add(*subScn)
 
+	loadScns, err := graphLoad(g, runs)
+	if err != nil {
+		return fmt.Errorf("graph_load: %w", err)
+	}
+	for _, s := range loadScns {
+		res.add(*s)
+	}
+	snapScn := loadScns[2]
+
 	svcScenario, err := serviceEndToEnd(dataset, scale)
 	if err != nil {
 		return fmt.Errorf("service_end_to_end: %w", err)
@@ -259,6 +277,10 @@ func run(out, dataset string, flagScale float64, runs int, minSpeedup, maxSSAllo
 	if maxCFAlloc > 0 && seqScn.AllocsPerOp > maxCFAlloc {
 		return fmt.Errorf("sequential cold fit allocates %.0f per op, above the %.0f gate",
 			seqScn.AllocsPerOp, maxCFAlloc)
+	}
+	if maxLdAlloc > 0 && snapScn.AllocsPerOp > maxLdAlloc {
+		return fmt.Errorf("snapshot graph load allocates %.0f per op, above the %.0f gate",
+			snapScn.AllocsPerOp, maxLdAlloc)
 	}
 	return nil
 }
@@ -494,6 +516,115 @@ func inducedSubgraph(g *graph.Graph) (*Scenario, error) {
 		_, _, err := graph.InducedSubgraph(g, verts)
 		return err
 	})
+}
+
+// graphLoad measures the three ingestion paths on the bench graph: the
+// sequential text parse (baseline), the chunked parallel loader on the
+// same file, and the binary CSR snapshot — each loading from a real file
+// so the numbers include I/O. The parallel and snapshot scenarios carry
+// their speedup over the text baseline in SpeedupVsSequential, and all
+// three loads are checked bit-identical to the source graph (the loader's
+// core contract) before the scenarios are reported.
+func graphLoad(g *graph.Graph, runs int) ([3]*Scenario, error) {
+	var out [3]*Scenario
+	dir, err := os.MkdirTemp("", "bench-load-*")
+	if err != nil {
+		return out, err
+	}
+	defer os.RemoveAll(dir)
+
+	textPath := filepath.Join(dir, "g.txt")
+	f, err := os.Create(textPath)
+	if err != nil {
+		return out, err
+	}
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return out, err
+	}
+	if err := f.Close(); err != nil {
+		return out, err
+	}
+	snapPath := filepath.Join(dir, "g.snap")
+	if err := graph.WriteSnapshotFile(snapPath, g); err != nil {
+		return out, err
+	}
+
+	measureLoad := func(name string, load func() (*graph.Graph, error)) (*Scenario, error) {
+		var loaded *graph.Graph
+		ns, allocs, bytes, err := measureOp(runs, func() error {
+			lg, err := load()
+			loaded = lg
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		if !sameGraph(g, loaded) {
+			return nil, fmt.Errorf("%s: loaded graph differs from the source graph", name)
+		}
+		return &Scenario{
+			Name: name, Runs: runs, NsPerOp: ns, OpsPerS: opsPerS(ns),
+			AllocsPerOp: allocs, BytesPerOp: bytes,
+		}, nil
+	}
+
+	text, err := measureLoad("graph_load_text", func() (*graph.Graph, error) {
+		f, err := os.Open(textPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return graph.ReadEdgeList(f)
+	})
+	if err != nil {
+		return out, err
+	}
+
+	par, err := measureLoad("graph_load_parallel", func() (*graph.Graph, error) {
+		return graph.LoadFile(textPath, graph.LoadOptions{})
+	})
+	if err != nil {
+		return out, err
+	}
+	par.SpeedupVsSequential = text.NsPerOp / par.NsPerOp
+
+	snap, err := measureLoad("graph_load_snapshot", func() (*graph.Graph, error) {
+		return graph.ReadSnapshotFile(snapPath)
+	})
+	if err != nil {
+		return out, err
+	}
+	snap.SpeedupVsSequential = text.NsPerOp / snap.NsPerOp
+
+	out[0], out[1], out[2] = text, par, snap
+	return out, nil
+}
+
+// sameGraph compares two graphs through the exported CSR accessors.
+func sameGraph(a, b *graph.Graph) bool {
+	if b == nil || a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() ||
+		a.HasWeights() != b.HasWeights() {
+		return false
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		na, nb := a.OutNeighbors(graph.VertexID(v)), b.OutNeighbors(graph.VertexID(v))
+		if len(na) != len(nb) {
+			return false
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				return false
+			}
+		}
+		wa, wb := a.OutWeights(graph.VertexID(v)), b.OutWeights(graph.VertexID(v))
+		for i := range wa {
+			if wa[i] != wb[i] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // serviceEndToEnd drives a mixed workload through the HTTP service: three

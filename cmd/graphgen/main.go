@@ -1,17 +1,28 @@
 // Command graphgen generates synthetic graphs (the dataset stand-ins or
-// raw generator families) and reports their structural properties.
+// raw generator families), converts between graph file formats, and
+// reports structural properties.
 //
 // Usage:
 //
 //	graphgen -data UK -stats                 # stand-in + Table 2 properties
 //	graphgen -type ba -n 10000 -deg 8 -out g.txt
 //	graphgen -type rmat -n 65536 -deg 16 -stats
+//	graphgen -data Wiki -out wiki.snap       # write a binary CSR snapshot
+//	graphgen -convert g.txt -out g.snap      # edge list -> snapshot
+//	graphgen -convert g.snap -out g.txt      # snapshot -> edge list
+//
+// Output format follows the -out extension: ".snap" writes the binary CSR
+// snapshot (checksummed, reloads in O(bytes)); anything else writes the
+// plain-text edge list. -convert detects the input format by content
+// (snapshot magic number, text otherwise), so it also re-encodes and
+// re-validates snapshots.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"predict"
 	"predict/internal/gen"
@@ -20,18 +31,19 @@ import (
 
 func main() {
 	var (
-		data  = flag.String("data", "", "dataset stand-in prefix: LJ, Wiki, TW, UK")
-		typ   = flag.String("type", "", "generator family: ba, rmat, er, ws, powerlaw, lognormal, path, cycle, star, grid")
-		n     = flag.Int("n", 10000, "vertices")
-		deg   = flag.Float64("deg", 8, "average out-degree (family-dependent)")
-		scale = flag.Float64("scale", 1.0, "dataset scale factor (with -data)")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		out   = flag.String("out", "", "write edge list to this file")
-		stats = flag.Bool("stats", false, "measure and print structural properties")
+		data    = flag.String("data", "", "dataset stand-in prefix: LJ, Wiki, TW, UK")
+		typ     = flag.String("type", "", "generator family: ba, rmat, er, ws, powerlaw, lognormal, path, cycle, star, grid")
+		convert = flag.String("convert", "", "load this graph file (snapshot or edge list) instead of generating")
+		n       = flag.Int("n", 10000, "vertices")
+		deg     = flag.Float64("deg", 8, "average out-degree (family-dependent)")
+		scale   = flag.Float64("scale", 1.0, "dataset scale factor (with -data)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		out     = flag.String("out", "", "write the graph to this file (.snap = binary snapshot, else edge list)")
+		stats   = flag.Bool("stats", false, "measure and print structural properties")
 	)
 	flag.Parse()
 
-	g, name, err := build(*data, *typ, *n, *deg, *scale, *seed)
+	g, name, err := build(*data, *typ, *convert, *n, *deg, *scale, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "graphgen:", err)
 		os.Exit(1)
@@ -49,13 +61,7 @@ func main() {
 		fmt.Printf("mean in/out ratio   %.2f\n", p.InOutRatio)
 	}
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "graphgen:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := predict.WriteGraph(f, g); err != nil {
+		if err := writeGraphFile(*out, g); err != nil {
 			fmt.Fprintln(os.Stderr, "graphgen:", err)
 			os.Exit(1)
 		}
@@ -63,7 +69,33 @@ func main() {
 	}
 }
 
-func build(data, typ string, n int, deg, scale float64, seed uint64) (*graph.Graph, string, error) {
+// writeGraphFile writes g to path in the format the extension selects.
+func writeGraphFile(path string, g *graph.Graph) error {
+	if strings.HasSuffix(path, ".snap") {
+		return graph.WriteSnapshotFile(path, g)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := predict.WriteGraph(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func build(data, typ, convert string, n int, deg, scale float64, seed uint64) (*graph.Graph, string, error) {
+	if convert != "" {
+		if data != "" || typ != "" {
+			return nil, "", fmt.Errorf("-convert is exclusive with -data/-type")
+		}
+		g, err := predict.LoadGraphFile(convert)
+		if err != nil {
+			return nil, "", err
+		}
+		return g, convert, nil
+	}
 	if data != "" {
 		ds, err := gen.ByPrefix(data)
 		if err != nil {
@@ -99,5 +131,5 @@ func build(data, typ string, n int, deg, scale float64, seed uint64) (*graph.Gra
 		}
 		return gen.Grid(side, side), "grid", nil
 	}
-	return nil, "", fmt.Errorf("need -data or -type (got type=%q)", typ)
+	return nil, "", fmt.Errorf("need -data, -type or -convert (got type=%q)", typ)
 }

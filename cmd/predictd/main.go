@@ -7,14 +7,17 @@
 //
 //	predictd -addr :8080
 //	predictd -addr :8080 -history models.jsonl      # warm + persist cache
+//	predictd -dataset-dir ./datasets                # serve real graphs by name
 //	predictd -max-models 128 -timeout 120s -workers 16
 //	predictd -fit-parallelism 8 -fit-timeout 2m     # cold-path budget
 //	predictd -pprof-addr 127.0.0.1:6060             # live profiling (off by default)
 //
 // API (JSON):
 //
-//	POST /predict        {"dataset":"Wiki","algorithm":"PR","ratio":0.1}
-//	POST /predict/batch  {"requests":[{...},{...}]}
+//	POST /predict               {"dataset":"Wiki","algorithm":"PR","ratio":0.1}
+//	POST /predict/batch         {"requests":[{...},{...}]}
+//	GET  /datasets              registry inventory (with -dataset-dir)
+//	POST /datasets/{name}/load  pre-load a registry dataset
 //	GET  /models
 //	GET  /stats
 //	GET  /healthz
@@ -47,6 +50,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "sample-cluster BSP workers (0 = default 8)")
 		seed      = flag.Uint64("seed", 0, "cost-oracle noise seed")
 		histFile  = flag.String("history", "", "JSON-lines file: warm the model cache at startup, persist it at shutdown")
+		dataDir   = flag.String("dataset-dir", "", "dataset registry directory (<name>.snap snapshots, <name>.txt/.el/.edges edge lists)")
 		fitPar    = flag.Int("fit-parallelism", 0, "shared fit-pool budget: sample pipelines running at once across all cold fits (0 = GOMAXPROCS)")
 		fitTO     = flag.Duration("fit-timeout", 0, "per-fit deadline, detached from request timeouts (0 = default 5m)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables profiling")
@@ -75,6 +79,7 @@ func main() {
 		FitParallelism: *fitPar,
 		FitTimeout:     *fitTO,
 		Cluster:        bsp.Config{Workers: *workers, Seed: *seed, Oracle: &oracle},
+		DatasetDir:     *dataDir,
 	})
 
 	// persistPath is where the cache snapshot lands at shutdown. If the

@@ -100,18 +100,30 @@ func (b *Builder) Build() (*Graph, error) {
 		cursor[s]++
 	}
 
-	// Per-bucket sort + dedup, compacting in place. Weighted buckets sort
-	// stably (on a scratch reused across buckets) so dedup keeps the first
-	// weight *added*; unweighted buckets use the allocation-free in-place
-	// sort — equal ints are indistinguishable, so stability is moot.
+	g := finishCSR(b.n, offsets, edges, weights, b.keepSelf)
+	// Release builder storage.
+	b.srcs, b.dsts, b.weights = nil, nil, nil
+	return g, nil
+}
+
+// finishCSR turns a counting-sort scatter (per-source buckets in edge-
+// insertion order) into a finished Graph: per-bucket sort + dedup,
+// compacting in place. Weighted buckets sort stably (on a scratch reused
+// across buckets) so dedup keeps the first weight *added*; unweighted
+// buckets use the allocation-free in-place sort — equal ints are
+// indistinguishable, so stability is moot. It is shared by Builder.Build
+// and the parallel edge-list loader's shard merge, which makes the two
+// construction paths bit-identical by construction in everything past the
+// scatter. The offsets/edges/weights arrays are consumed (mutated).
+func finishCSR(n int, offsets []int64, edges []VertexID, weights []float32, keepSelf bool) *Graph {
 	outEdges := edges[:0]
 	var outWeights []float32
 	var pairScratch []dstWeight
 	if weights != nil {
 		outWeights = weights[:0]
 	}
-	newOffsets := make([]int64, b.n+1)
-	for v := 0; v < b.n; v++ {
+	newOffsets := make([]int64, n+1)
+	for v := 0; v < n; v++ {
 		lo, hi := offsets[v], offsets[v+1]
 		bucket := edges[lo:hi]
 		var wbucket []float32
@@ -126,7 +138,7 @@ func (b *Builder) Build() (*Graph, error) {
 			if dst == prev {
 				continue // parallel edge
 			}
-			if !b.keepSelf && int(dst) == v {
+			if !keepSelf && int(dst) == v {
 				prev = dst
 				continue // self-loop
 			}
@@ -139,14 +151,11 @@ func (b *Builder) Build() (*Graph, error) {
 		newOffsets[v+1] = int64(len(outEdges))
 	}
 
-	g := &Graph{
+	return &Graph{
 		offsets: newOffsets,
 		edges:   outEdges,
 		weights: outWeights,
 	}
-	// Release builder storage.
-	b.srcs, b.dsts, b.weights = nil, nil, nil
-	return g, nil
 }
 
 // FromEdges is a convenience constructor building an unweighted graph from

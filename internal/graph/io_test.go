@@ -81,17 +81,71 @@ func TestReadEdgeListIgnoresCommentsAndBlanks(t *testing.T) {
 }
 
 func TestReadEdgeListErrors(t *testing.T) {
-	cases := []string{
-		"0\n",          // too few fields
-		"0 1 2 3\n",    // too many fields
-		"x 1\n",        // bad source
-		"0 y\n",        // bad destination
-		"0 1 notnum\n", // bad weight
+	cases := []struct {
+		name    string
+		input   string
+		wantMsg string
+	}{
+		{"too few fields", "0\n", "line 1"},
+		{"too many fields", "0 1 2 3\n", "line 1"},
+		{"bad source", "x 1\n", `bad source "x"`},
+		{"bad destination", "0 y\n", `bad destination "y"`},
+		{"bad weight", "0 1 notnum\n", `bad weight "notnum"`},
+		{"truncated line mid-file", "0 1\n1\n2 3\n", "line 2"},
+		{"negative source", "-3 1\n", "must be non-negative"},
+		{"negative destination", "0 1\n0 -9\n", "line 2"},
+		{"oversized source", "2147483647 0\n", "vertex ID exceeds"},
+		{"oversized destination", "0 3000000000\n", "vertex ID exceeds"},
+		{"source past int64", "99999999999999999999 0\n", "vertex ID exceeds"},
+		{"negative past int64", "-99999999999999999999 0\n", "must be non-negative"},
+		{"NaN weight", "0 1 NaN\n", "finite"},
+		{"+Inf weight", "0 1 +Inf\n", "finite"},
+		{"-Inf weight", "0 1 -Infinity\n", "finite"},
+		{"weight overflows float32", "0 1 6e38\n", "finite"},
+		{"bad header count", "# vertices x\n", `bad vertex count "x"`},
+		{"negative header count", "# vertices -2\n", "bad vertex count"},
+		{"header count past int32", "# vertices 3000000000\n", "bad vertex count"},
+		{"conflicting headers", "# vertices 3\n0 1\n# vertices 5\n", "line 3"},
+		{"edge above header count", "# vertices 2\n0 5\n", "out-of-range destination"},
 	}
-	for _, in := range cases {
-		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
-			t.Errorf("ReadEdgeList(%q) succeeded, want error", in)
+	for _, tc := range cases {
+		_, err := ReadEdgeList(strings.NewReader(tc.input))
+		if err == nil {
+			t.Errorf("%s: ReadEdgeList(%q) succeeded, want error containing %q", tc.name, tc.input, tc.wantMsg)
+			continue
 		}
+		if !strings.Contains(err.Error(), tc.wantMsg) {
+			t.Errorf("%s: error %q, want it to contain %q", tc.name, err, tc.wantMsg)
+		}
+	}
+}
+
+func TestReadEdgeListHeaderAnywhere(t *testing.T) {
+	// A later header is honoured, not silently replaced by inference.
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2\n# vertices 9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 9 {
+		t.Errorf("NumVertices = %d, want 9 (trailing header ignored)", g.NumVertices())
+	}
+	// Agreeing duplicates are fine wherever they appear.
+	g, err = ReadEdgeList(strings.NewReader("# vertices 4\n0 1\n# vertices 4\n2 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 4 {
+		t.Errorf("NumVertices = %d, want 4", g.NumVertices())
+	}
+}
+
+func TestReadEdgeListAcceptsSignedZeroAndPlus(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("+0 +2\n-0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %v, want 3 vertices / 2 edges", g)
 	}
 }
 

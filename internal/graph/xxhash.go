@@ -1,0 +1,135 @@
+package graph
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// xxhash64: the 64-bit XXH64 hash (Yann Collet), used as the snapshot
+// format's integrity checksum. Implemented here because the module takes
+// no external dependencies; the implementation is pinned against
+// reference digests from the canonical C library (xxhash_test.go), so the
+// checksum in a snapshot file is the standard XXH64 of its payload and
+// any xxhash implementation can verify it.
+//
+// xxh64 is a streaming digest (the snapshot writer hashes as it encodes);
+// xxhash64Sum is the one-shot form the reader uses on the full payload.
+
+const (
+	xxPrime1 uint64 = 0x9E3779B185EBCA87
+	xxPrime2 uint64 = 0xC2B2AE3D27D4EB4F
+	xxPrime3 uint64 = 0x165667B19E3779F9
+	xxPrime4 uint64 = 0x85EBCA77C2B2AE63
+	xxPrime5 uint64 = 0x27D4EB2F165667C5
+)
+
+// xxh64 accumulates input incrementally. The zero value is not usable;
+// construct with newXXHash64.
+type xxh64 struct {
+	v1, v2, v3, v4 uint64
+	seed           uint64
+	total          uint64
+	mem            [32]byte // buffered tail, waiting for a full stripe
+	memN           int
+}
+
+func newXXHash64(seed uint64) *xxh64 {
+	d := &xxh64{seed: seed}
+	d.v1 = seed + xxPrime1 + xxPrime2
+	d.v2 = seed + xxPrime2
+	d.v3 = seed
+	d.v4 = seed - xxPrime1
+	return d
+}
+
+func xxRound(acc, lane uint64) uint64 {
+	acc += lane * xxPrime2
+	return bits.RotateLeft64(acc, 31) * xxPrime1
+}
+
+func xxMergeRound(h, v uint64) uint64 {
+	h ^= xxRound(0, v)
+	return h*xxPrime1 + xxPrime4
+}
+
+// Write absorbs p; it never fails.
+func (d *xxh64) Write(p []byte) (int, error) {
+	n := len(p)
+	d.total += uint64(n)
+	if d.memN > 0 {
+		c := copy(d.mem[d.memN:], p)
+		d.memN += c
+		p = p[c:]
+		if d.memN < 32 {
+			return n, nil
+		}
+		d.stripes(d.mem[:])
+		d.memN = 0
+	}
+	if full := len(p) &^ 31; full > 0 {
+		d.stripes(p[:full])
+		p = p[full:]
+	}
+	d.memN = copy(d.mem[:], p)
+	return n, nil
+}
+
+// stripes consumes len(b)/32 full 32-byte stripes.
+func (d *xxh64) stripes(b []byte) {
+	v1, v2, v3, v4 := d.v1, d.v2, d.v3, d.v4
+	for len(b) >= 32 {
+		v1 = xxRound(v1, binary.LittleEndian.Uint64(b[0:8]))
+		v2 = xxRound(v2, binary.LittleEndian.Uint64(b[8:16]))
+		v3 = xxRound(v3, binary.LittleEndian.Uint64(b[16:24]))
+		v4 = xxRound(v4, binary.LittleEndian.Uint64(b[24:32]))
+		b = b[32:]
+	}
+	d.v1, d.v2, d.v3, d.v4 = v1, v2, v3, v4
+}
+
+// Sum64 finalizes and returns the digest. The digest remains usable: more
+// Writes continue the stream.
+func (d *xxh64) Sum64() uint64 {
+	var h uint64
+	if d.total >= 32 {
+		h = bits.RotateLeft64(d.v1, 1) + bits.RotateLeft64(d.v2, 7) +
+			bits.RotateLeft64(d.v3, 12) + bits.RotateLeft64(d.v4, 18)
+		h = xxMergeRound(h, d.v1)
+		h = xxMergeRound(h, d.v2)
+		h = xxMergeRound(h, d.v3)
+		h = xxMergeRound(h, d.v4)
+	} else {
+		h = d.seed + xxPrime5
+	}
+	h += d.total
+
+	tail := d.mem[:d.memN]
+	for len(tail) >= 8 {
+		h ^= xxRound(0, binary.LittleEndian.Uint64(tail))
+		h = bits.RotateLeft64(h, 27)*xxPrime1 + xxPrime4
+		tail = tail[8:]
+	}
+	if len(tail) >= 4 {
+		h ^= uint64(binary.LittleEndian.Uint32(tail)) * xxPrime1
+		h = bits.RotateLeft64(h, 23)*xxPrime2 + xxPrime3
+		tail = tail[4:]
+	}
+	for _, b := range tail {
+		h ^= uint64(b) * xxPrime5
+		h = bits.RotateLeft64(h, 11) * xxPrime1
+	}
+
+	h ^= h >> 33
+	h *= xxPrime2
+	h ^= h >> 29
+	h *= xxPrime3
+	h ^= h >> 32
+	return h
+}
+
+// xxhash64Sum is the one-shot XXH64 of b.
+func xxhash64Sum(b []byte, seed uint64) uint64 {
+	d := newXXHash64(seed)
+	_, _ = d.Write(b)
+	return d.Sum64()
+}

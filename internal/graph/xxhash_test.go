@@ -1,0 +1,72 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refVector pins the implementation to digests produced by the canonical
+// C library (xxhash 0.8): XXH64(input, seed).
+type refVector struct {
+	input      []byte
+	seed       uint64
+	wantSeed0  uint64
+	wantSeeded uint64 // seed 20141025
+}
+
+func refInput(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i % 255)
+	}
+	return b
+}
+
+func TestXXHash64ReferenceVectors(t *testing.T) {
+	vectors := []refVector{
+		{[]byte(""), 20141025, 0xef46db3751d8e999, 0x493d554c526625ba},
+		{[]byte("a"), 20141025, 0xd24ec4f1a98c6e5b, 0x9fe3ce221f1dd34a},
+		{[]byte("abc"), 20141025, 0x44bc2cf5ad770999, 0x15bf5082de140c67},
+		{[]byte("PCSR"), 20141025, 0x9c3e2194bd7d29d0, 0xfd3f783a0174d35a},
+		{[]byte("hello, world"), 20141025, 0xb33a384e6d1b1242, 0xaf05c8726232692a},
+		{refInput(32), 20141025, 0xcbf59c5116ff32b4, 0x979bb7c9b9e060d1},
+		{refInput(63), 20141025, 0xe26aa9e2a95f8e4f, 0x72b10f434812a208},
+		{refInput(64), 20141025, 0xf7c67301db6713f0, 0x51631704aebed3ed},
+		{refInput(1020), 20141025, 0x2dfa04919c94d79f, 0x7b246a9e296e1038},
+		{[]byte("0 1\n1 2\n2 0\n"), 20141025, 0x7a1354d6bbc05da2, 0x7633cac249c8e440},
+	}
+	for _, v := range vectors {
+		if got := xxhash64Sum(v.input, 0); got != v.wantSeed0 {
+			t.Errorf("XXH64(%q, seed 0) = %#x, want %#x", v.input, got, v.wantSeed0)
+		}
+		if got := xxhash64Sum(v.input, v.seed); got != v.wantSeeded {
+			t.Errorf("XXH64(%q, seed %d) = %#x, want %#x", v.input, v.seed, got, v.wantSeeded)
+		}
+	}
+}
+
+// TestXXHash64Streaming holds the streaming digest equal to the one-shot
+// form under arbitrary write fragmentation, including writes that straddle
+// the 32-byte stripe buffer.
+func TestXXHash64Streaming(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 4096)
+	rng.Read(data)
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(len(data))
+		in := data[:n]
+		want := xxhash64Sum(in, 42)
+		d := newXXHash64(42)
+		for off := 0; off < n; {
+			k := 1 + rng.Intn(97)
+			if off+k > n {
+				k = n - off
+			}
+			d.Write(in[off : off+k])
+			off += k
+		}
+		if got := d.Sum64(); got != want {
+			t.Fatalf("trial %d (len %d): streaming %#x != one-shot %#x", trial, n, got, want)
+		}
+	}
+}

@@ -89,6 +89,19 @@ func (c *cache[V]) get(ctx context.Context, key string, fill func() (V, error)) 
 	}
 }
 
+// peek returns the cached value for key without counting a hit or
+// refreshing LRU order — inventory endpoints observe the cache without
+// perturbing it.
+func (c *cache[V]) peek(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		return el.Value.(*entry[V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
 // put inserts a value directly (cache warming).
 func (c *cache[V]) put(key string, val V) {
 	c.mu.Lock()

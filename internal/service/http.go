@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 )
@@ -35,16 +36,20 @@ type BatchResponse struct {
 
 // Handler returns the service's HTTP API:
 //
-//	POST /predict        PredictRequest  -> PredictResponse
-//	POST /predict/batch  BatchRequest    -> BatchResponse
-//	GET  /models         -> {"models": [ModelInfo...]}
-//	GET  /stats          -> Stats (pool depth, in-flight fits, hit ratio)
-//	GET  /healthz        -> {"status": "ok", ...Stats}
+//	POST /predict               PredictRequest  -> PredictResponse
+//	POST /predict/batch         BatchRequest    -> BatchResponse
+//	GET  /models                -> {"models": [ModelInfo...]}
+//	GET  /datasets              -> {"datasets": [DatasetInfo...]} (registry)
+//	POST /datasets/{name}/load  -> load a registry dataset into the cache
+//	GET  /stats                 -> Stats (pool depth, in-flight fits, hit ratio)
+//	GET  /healthz               -> {"status": "ok", ...Stats}
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/predict/batch", s.handleBatch)
 	mux.HandleFunc("/models", s.handleModels)
+	mux.HandleFunc("/datasets", s.handleDatasets)
+	mux.HandleFunc("/datasets/", s.handleDatasetLoad)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -149,6 +154,57 @@ func (s *Service) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"models": models,
 		"count":  len(models),
+	})
+}
+
+// handleDatasets lists the dataset registry (GET /datasets).
+func (s *Service) handleDatasets(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.cfg.DatasetDir == "" {
+		writeError(w, http.StatusNotFound, "service: no dataset directory configured")
+		return
+	}
+	datasets, err := s.Datasets()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("service: scanning dataset directory: %v", err))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dir":      s.cfg.DatasetDir,
+		"datasets": datasets,
+		"count":    len(datasets),
+	})
+}
+
+// handleDatasetLoad serves POST /datasets/{name}/load: resolve the named
+// registry dataset, pull it into the graph cache (shared single-flight
+// with any concurrent /predict on the same dataset) and report its shape.
+func (s *Service) handleDatasetLoad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/datasets/")
+	name, ok := strings.CutSuffix(rest, "/load")
+	if !ok || name == "" || strings.Contains(name, "/") {
+		writeError(w, http.StatusNotFound, "service: want POST /datasets/{name}/load")
+		return
+	}
+	start := time.Now()
+	ctx, cancel := s.requestContext(r, 0)
+	defer cancel()
+	info, cached, err := s.LoadDataset(ctx, name)
+	if err != nil {
+		writeServiceError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset":        info,
+		"already_loaded": cached,
+		"elapsed_ms":     float64(time.Since(start)) / float64(time.Millisecond),
 	})
 }
 

@@ -88,6 +88,11 @@ type Config struct {
 	// selects 8 workers priced by cluster.DefaultOracle() — the repo's
 	// stand-in for the paper's testbed.
 	Cluster bsp.Config
+	// DatasetDir, when set, enables the dataset registry: files under the
+	// directory (<name>.snap snapshots, <name>.txt/.el/.edges edge lists)
+	// become named datasets a request can address alongside the generator
+	// prefixes. See datasets.go.
+	DatasetDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -211,9 +216,8 @@ func (r PredictRequest) Validate() error {
 	if r.Dataset == "" {
 		return fmt.Errorf("service: missing dataset")
 	}
-	if _, err := gen.ByPrefix(r.Dataset); err != nil {
-		return fmt.Errorf("service: unknown dataset %q (want LJ, Wiki, TW or UK)", r.Dataset)
-	}
+	// Dataset existence is resolved per service (registry datasets, then
+	// generator prefixes) in graphFor, not here: Validate has no registry.
 	if r.Algorithm == "" {
 		return fmt.Errorf("service: missing algorithm")
 	}
@@ -279,7 +283,7 @@ type PredictResponse struct {
 // "PageRank" share a model) and epsilon only enters for the PageRank-
 // based algorithms that consume it, so epsilon-insensitive requests
 // cannot fragment the cache.
-func (s *Service) modelKey(r PredictRequest) string {
+func (s *Service) modelKey(r PredictRequest, registryKey string) string {
 	name, eps := r.Algorithm, 0.0
 	if alg, err := algorithms.ByName(r.Algorithm); err == nil {
 		name = alg.Name()
@@ -290,7 +294,19 @@ func (s *Service) modelKey(r PredictRequest) string {
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "alg=%s,eps=%g", name, eps)
-	fmt.Fprintf(&b, "|data=%s,scale=%g,gseed=%d", r.Dataset, r.Scale, r.GraphSeed)
+	// Registry datasets enter under their graph-cache key (namespace +
+	// file mtime/size): a registry file named "Wiki" must not hit a model
+	// fitted on the generator stand-in of the same name, and a model
+	// fitted on one version of a file must not be served — now or via
+	// history warm-up after a restart — for a replaced file. The caller
+	// resolves the dataset once and passes the same key here and to
+	// graphFor, so a file racing in, out or over mid-request cannot split
+	// the two decisions.
+	data := r.Dataset
+	if registryKey != "" {
+		data = registryKey
+	}
+	fmt.Fprintf(&b, "|data=%s,scale=%g,gseed=%d", data, r.Scale, r.GraphSeed)
 	fmt.Fprintf(&b, "|method=%s,ratio=%g,sseed=%d", r.Method, r.Ratio, r.SampleSeed)
 	ratios := make([]string, len(r.TrainingRatios))
 	for i, tr := range r.TrainingRatios {
@@ -307,14 +323,35 @@ func (s *Service) modelKey(r PredictRequest) string {
 	return b.String()
 }
 
-// graphFor returns the requested dataset graph, generating it at most once
-// per (prefix, scale, seed).
-func (s *Service) graphFor(ctx context.Context, r PredictRequest) (*graph.Graph, error) {
+// graphFor returns the requested dataset graph: the registry file at
+// path when the caller resolved one (registryKey non-empty; loaded from
+// disk at most once per file version), a generated stand-in otherwise
+// (generated at most once per (prefix, scale, seed)).
+func (s *Service) graphFor(ctx context.Context, r PredictRequest, path, registryKey string) (*graph.Graph, error) {
+	if registryKey != "" {
+		// Registry datasets are fixed files: the generator knobs do not
+		// apply, and silently ignoring them would fragment the model cache
+		// across keys that name the same graph.
+		if r.Scale != 1 {
+			return nil, &Error{Status: 400, Msg: fmt.Sprintf(
+				"service: dataset %q is a registry dataset; scale does not apply (got %g)", r.Dataset, r.Scale)}
+		}
+		if r.GraphSeed != 1 {
+			return nil, &Error{Status: 400, Msg: fmt.Sprintf(
+				"service: dataset %q is a registry dataset; graph_seed does not apply (got %d)", r.Dataset, r.GraphSeed)}
+		}
+		g, _, err := s.loadDataset(ctx, r.Dataset, path, registryKey)
+		return g, err
+	}
 	key := fmt.Sprintf("%s|%g|%d", r.Dataset, r.Scale, r.GraphSeed)
 	g, _, err := s.graphs.get(ctx, key, func() (*graph.Graph, error) {
 		ds, err := gen.ByPrefix(r.Dataset)
 		if err != nil {
-			return nil, err
+			if s.cfg.DatasetDir != "" {
+				return nil, fmt.Errorf("service: unknown dataset %q: not a file under %s and not a generator prefix (LJ, Wiki, TW, UK)",
+					r.Dataset, s.cfg.DatasetDir)
+			}
+			return nil, fmt.Errorf("service: unknown dataset %q (want LJ, Wiki, TW or UK)", r.Dataset)
 		}
 		gr := ds.Generate(r.Scale, r.GraphSeed)
 		// Warm the per-graph degree artifacts (BRJ seed ordering, memoized
@@ -356,16 +393,29 @@ func (s *Service) Predict(ctx context.Context, req PredictRequest) (*PredictResp
 		return nil, &Error{Status: 400, Msg: err.Error()}
 	}
 
-	g, err := s.graphFor(ctx, req)
+	// Resolve the dataset against the registry exactly once per request:
+	// graphFor and modelKey must agree on registry-vs-generator — and on
+	// the file version — even if the file appears, disappears or is
+	// replaced while the request is in flight.
+	var registryKey string
+	path, fi, _, registry := s.resolveDataset(req.Dataset)
+	if registry {
+		registryKey = datasetKey(req.Dataset, fi)
+	}
+	g, err := s.graphFor(ctx, req, path, registryKey)
 	if err != nil {
 		if ctx.Err() != nil {
 			return nil, &Error{Status: 504, Msg: fmt.Sprintf(
 				"service: request timed out generating dataset %s", req.Dataset)}
 		}
+		var se *Error
+		if errors.As(err, &se) {
+			return nil, se
+		}
 		return nil, &Error{Status: 400, Msg: err.Error()}
 	}
 
-	key := s.modelKey(req)
+	key := s.modelKey(req, registryKey)
 	fitted, hit, err := s.models.get(ctx, key, func() (*core.Fitted, error) {
 		return s.fit(req, g)
 	})

@@ -199,6 +199,28 @@ func ReadGraph(r io.Reader) (*Graph, error) { return graph.ReadEdgeList(r) }
 // WriteGraph writes g as a plain-text edge list.
 func WriteGraph(w io.Writer, g *Graph) error { return graph.WriteEdgeList(w, g) }
 
+// LoadGraph parses the edge-list format in parallel (chunked at line
+// boundaries, shards parsed concurrently), producing a Graph bit-identical
+// to ReadGraph's. parallelism <= 0 selects GOMAXPROCS.
+func LoadGraph(r io.Reader, parallelism int) (*Graph, error) {
+	return graph.LoadEdgeList(r, graph.LoadOptions{Parallelism: parallelism})
+}
+
+// LoadGraphFile loads a graph from disk, auto-detecting binary CSR
+// snapshots (by magic number) and plain-text edge lists.
+func LoadGraphFile(path string) (*Graph, error) {
+	return graph.LoadFile(path, graph.LoadOptions{})
+}
+
+// WriteGraphSnapshot writes g in the binary CSR snapshot format: a
+// versioned, checksummed image of the CSR arrays that reloads in O(bytes)
+// with no parsing. See DESIGN.md §9 for the wire layout.
+func WriteGraphSnapshot(w io.Writer, g *Graph) error { return graph.WriteSnapshot(w, g) }
+
+// ReadGraphSnapshot reads a graph written by WriteGraphSnapshot, verifying
+// its checksum and structural invariants.
+func ReadGraphSnapshot(r io.Reader) (*Graph, error) { return graph.ReadSnapshot(r) }
+
 // FormatPrediction renders a prediction as a short human-readable report.
 func FormatPrediction(p *Prediction) string {
 	sel := ""

@@ -2,6 +2,7 @@ package predict_test
 
 import (
 	"bytes"
+	"os"
 	"strings"
 	"testing"
 
@@ -87,6 +88,61 @@ func TestFacadeGraphRoundTrip(t *testing.T) {
 	}
 	if g2.NumEdges() != 2 {
 		t.Errorf("round trip edges = %d, want 2", g2.NumEdges())
+	}
+}
+
+func TestFacadeSnapshotAndParallelLoad(t *testing.T) {
+	b := predict.NewGraphBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snap bytes.Buffer
+	if err := predict.WriteGraphSnapshot(&snap, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := predict.ReadGraphSnapshot(&snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != 4 || g2.NumEdges() != 3 {
+		t.Errorf("snapshot round trip gave %v", g2)
+	}
+
+	var text bytes.Buffer
+	if err := predict.WriteGraph(&text, g); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := predict.LoadGraph(&text, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumVertices() != 4 || g3.NumEdges() != 3 {
+		t.Errorf("parallel load gave %v", g3)
+	}
+
+	dir := t.TempDir()
+	path := dir + "/g.snap"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := predict.WriteGraphSnapshot(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g4, err := predict.LoadGraphFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g4.NumEdges() != 3 {
+		t.Errorf("LoadGraphFile gave %v", g4)
 	}
 }
 
