@@ -22,6 +22,12 @@
 //	graph_load_snapshot   binary CSR snapshot load of the same graph, plus
 //	                      its speedup over the text baseline
 //	service_end_to_end    a mixed cold/warm workload over the HTTP service
+//	                      under the production serving config (pooled
+//	                      codecs, admission control, batch-window
+//	                      coalescing) — the allocs-per-request gate
+//	service_sustained_rps warm-hit latency percentiles at a fixed offered
+//	                      load, uncontended vs under saturating cold
+//	                      traffic, plus the shed rate — the p99-ratio gate
 //
 // Every scenario also records allocs_per_op and bytes_per_op from
 // runtime.MemStats deltas, so the perf trajectory tracks allocation
@@ -34,6 +40,9 @@
 //	bench -max-superstep-allocs 32         # CI gate: engine allocs/superstep
 //	bench -max-coldfit-allocs 2500         # CI gate: sequential cold-fit allocs
 //	bench -max-load-allocs 64              # CI gate: snapshot-load allocs
+//	bench -max-e2e-allocs 150              # CI gate: serving allocs/request
+//	bench -max-p99-ratio 5                 # CI gate: warm p99 under cold saturation
+//	bench -summary BENCH_results.json      # markdown latency summary of an artifact
 //	PREDICT_BENCH_SCALE=0.08 bench         # smaller dataset stand-ins
 //
 // Timings vary with the host; everything else — samples, models,
@@ -44,18 +53,26 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"regexp"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"predict/internal/algorithms"
@@ -70,6 +87,40 @@ import (
 	"predict/internal/sampling"
 	"predict/internal/service"
 )
+
+// printSummary renders the serving scenarios of an existing artifact as
+// a small markdown table — the CI job summary's headline numbers, so a
+// reviewer sees p50/p99 and the shed rate without opening the JSON.
+func printSummary(path string) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var res Results
+	if err := json.Unmarshal(blob, &res); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	fmt.Println("| metric | value |")
+	fmt.Println("|---|---|")
+	for _, sc := range res.Scenarios {
+		switch sc.Name {
+		case "service_end_to_end":
+			fmt.Printf("| e2e allocs/request | %.0f |\n", sc.AllocsPerOp)
+			if sc.CacheHitRatio != nil {
+				fmt.Printf("| e2e cache hit ratio | %.2f |\n", *sc.CacheHitRatio)
+			}
+		case "service_sustained_rps":
+			fmt.Printf("| offered warm load | %.0f req/s |\n", sc.OfferedRPS)
+			fmt.Printf("| warm p50 / p99 (uncontended) | %.2f ms / %.2f ms |\n", sc.UncontendedP50Millis, sc.UncontendedP99Millis)
+			fmt.Printf("| warm p50 / p99 (cold-saturated) | %.2f ms / %.2f ms |\n", sc.P50Millis, sc.P99Millis)
+			fmt.Printf("| p99 ratio | %.2fx |\n", sc.P99Ratio)
+			if sc.ShedRate != nil {
+				fmt.Printf("| cold traffic shed | %d of %d (%.0f%%) |\n", sc.ColdShed, sc.ColdOffered, *sc.ShedRate*100)
+			}
+		}
+	}
+	return nil
+}
 
 // trainingRatios is the paper's §5.2 four-ratio training schedule — the
 // "4-ratio scenario" the CI speedup gate is defined on (the main ratio
@@ -95,9 +146,22 @@ type Scenario struct {
 	// CoefficientsMatch is set on cold_fit_parallel: whether the parallel
 	// fit's model is bit-identical to the sequential baseline's.
 	CoefficientsMatch *bool `json:"coefficients_match,omitempty"`
-	// CacheHitRatio and Requests are set on service_end_to_end.
+	// CacheHitRatio and Requests are set on the service scenarios.
 	CacheHitRatio *float64 `json:"cache_hit_ratio,omitempty"`
 	Requests      int      `json:"requests,omitempty"`
+	// The sustained-RPS fields: warm-hit latency percentiles under mixed
+	// cold/warm traffic at a fixed offered load, the same percentiles
+	// with no cold traffic (uncontended), their ratio (the CI latency
+	// gate), and the cold-path shed statistics.
+	P50Millis            float64  `json:"p50_ms,omitempty"`
+	P99Millis            float64  `json:"p99_ms,omitempty"`
+	UncontendedP50Millis float64  `json:"uncontended_p50_ms,omitempty"`
+	UncontendedP99Millis float64  `json:"uncontended_p99_ms,omitempty"`
+	P99Ratio             float64  `json:"p99_ratio,omitempty"`
+	OfferedRPS           float64  `json:"offered_rps,omitempty"`
+	ColdOffered          int      `json:"cold_offered,omitempty"`
+	ColdShed             int      `json:"cold_shed,omitempty"`
+	ShedRate             *float64 `json:"shed_rate,omitempty"`
 }
 
 // Results is the BENCH_results.json schema.
@@ -117,20 +181,47 @@ type Results struct {
 
 func main() {
 	var (
-		out        = flag.String("out", "BENCH_results.json", "output artifact path")
-		dataset    = flag.String("dataset", "Wiki", "dataset stand-in prefix (LJ, Wiki, TW, UK)")
-		scale      = flag.Float64("scale", 0, "dataset scale factor (0 = $PREDICT_BENCH_SCALE or 0.1)")
-		runs       = flag.Int("runs", 3, "repetitions per cold-fit and engine_superstep scenario (best time, mean allocs)")
-		minSpeedup = flag.Float64("min-speedup", 0, "fail (exit 1) if parallel cold-fit speedup is below this (0 disables the gate)")
-		maxSSAlloc = flag.Float64("max-superstep-allocs", 0, "fail (exit 1) if steady-state engine allocs per superstep exceed this (0 disables the gate)")
-		maxCFAlloc = flag.Float64("max-coldfit-allocs", 0, "fail (exit 1) if sequential cold-fit allocs per op exceed this (0 disables the gate)")
-		maxLdAlloc = flag.Float64("max-load-allocs", 0, "fail (exit 1) if snapshot graph-load allocs per op exceed this (0 disables the gate)")
+		out         = flag.String("out", "BENCH_results.json", "output artifact path")
+		dataset     = flag.String("dataset", "Wiki", "dataset stand-in prefix (LJ, Wiki, TW, UK)")
+		scale       = flag.Float64("scale", 0, "dataset scale factor (0 = $PREDICT_BENCH_SCALE or 0.1)")
+		runs        = flag.Int("runs", 3, "repetitions per cold-fit and engine_superstep scenario (best time, mean allocs)")
+		minSpeedup  = flag.Float64("min-speedup", 0, "fail (exit 1) if parallel cold-fit speedup is below this (0 disables the gate)")
+		maxSSAlloc  = flag.Float64("max-superstep-allocs", 0, "fail (exit 1) if steady-state engine allocs per superstep exceed this (0 disables the gate)")
+		maxCFAlloc  = flag.Float64("max-coldfit-allocs", 0, "fail (exit 1) if sequential cold-fit allocs per op exceed this (0 disables the gate)")
+		maxLdAlloc  = flag.Float64("max-load-allocs", 0, "fail (exit 1) if snapshot graph-load allocs per op exceed this (0 disables the gate)")
+		maxE2EAlloc = flag.Float64("max-e2e-allocs", 0, "fail (exit 1) if service_end_to_end allocs per request exceed this (0 disables the gate)")
+		maxP99Ratio = flag.Float64("max-p99-ratio", 0, "fail (exit 1) if the sustained-RPS warm p99 exceeds this multiple of the uncontended warm p99 (0 disables the gate)")
+		summary     = flag.String("summary", "", "print a markdown serving-latency summary of an existing artifact and exit")
 	)
 	flag.Parse()
-	if err := run(*out, *dataset, *scale, *runs, *minSpeedup, *maxSSAlloc, *maxCFAlloc, *maxLdAlloc); err != nil {
+	if *summary != "" {
+		if err := printSummary(*summary); err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*out, *dataset, *scale, *runs, gates{
+		minSpeedup:  *minSpeedup,
+		maxSSAlloc:  *maxSSAlloc,
+		maxCFAlloc:  *maxCFAlloc,
+		maxLdAlloc:  *maxLdAlloc,
+		maxE2EAlloc: *maxE2EAlloc,
+		maxP99Ratio: *maxP99Ratio,
+	}); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// gates are the CI failure thresholds; zero disables each.
+type gates struct {
+	minSpeedup  float64
+	maxSSAlloc  float64
+	maxCFAlloc  float64
+	maxLdAlloc  float64
+	maxE2EAlloc float64
+	maxP99Ratio float64
 }
 
 // measureOp runs op `runs` times and returns the best wall time plus the
@@ -170,7 +261,7 @@ func benchScale(flagScale float64) (float64, error) {
 	return benchenv.Scale(0.1)
 }
 
-func run(out, dataset string, flagScale float64, runs int, minSpeedup, maxSSAlloc, maxCFAlloc, maxLdAlloc float64) error {
+func run(out, dataset string, flagScale float64, runs int, g8 gates) error {
 	scale, err := benchScale(flagScale)
 	if err != nil {
 		return err
@@ -257,30 +348,45 @@ func run(out, dataset string, flagScale float64, runs int, minSpeedup, maxSSAllo
 	}
 	res.add(*svcScenario)
 
+	rpsScenario, err := serviceSustainedRPS(dataset, scale)
+	if err != nil {
+		return fmt.Errorf("service_sustained_rps: %w", err)
+	}
+	res.add(*rpsScenario)
+
 	if err := writeResults(out, res); err != nil {
 		return err
 	}
-	fmt.Printf("bench: wrote %s (cold-fit speedup %.2fx, coefficients match %v, superstep allocs/op %.1f, cold-fit allocs/op %.0f)\n",
-		out, speedup, match, ssScn.AllocsPerOp, seqScn.AllocsPerOp)
+	fmt.Printf("bench: wrote %s (cold-fit speedup %.2fx, coefficients match %v, superstep allocs/op %.1f, cold-fit allocs/op %.0f, e2e allocs/req %.0f, sustained warm p99 %.2fms = %.1fx uncontended)\n",
+		out, speedup, match, ssScn.AllocsPerOp, seqScn.AllocsPerOp,
+		svcScenario.AllocsPerOp, rpsScenario.P99Millis, rpsScenario.P99Ratio)
 
 	if !match {
 		return fmt.Errorf("parallel fit is not bit-identical to the sequential baseline")
 	}
-	if minSpeedup > 0 && speedup < minSpeedup {
+	if g8.minSpeedup > 0 && speedup < g8.minSpeedup {
 		return fmt.Errorf("cold-fit speedup %.2fx below the %.2fx gate (gomaxprocs=%d)",
-			speedup, minSpeedup, runtime.GOMAXPROCS(0))
+			speedup, g8.minSpeedup, runtime.GOMAXPROCS(0))
 	}
-	if maxSSAlloc > 0 && ssScn.AllocsPerOp > maxSSAlloc {
+	if g8.maxSSAlloc > 0 && ssScn.AllocsPerOp > g8.maxSSAlloc {
 		return fmt.Errorf("engine steady state allocates %.1f per superstep, above the %.1f gate",
-			ssScn.AllocsPerOp, maxSSAlloc)
+			ssScn.AllocsPerOp, g8.maxSSAlloc)
 	}
-	if maxCFAlloc > 0 && seqScn.AllocsPerOp > maxCFAlloc {
+	if g8.maxCFAlloc > 0 && seqScn.AllocsPerOp > g8.maxCFAlloc {
 		return fmt.Errorf("sequential cold fit allocates %.0f per op, above the %.0f gate",
-			seqScn.AllocsPerOp, maxCFAlloc)
+			seqScn.AllocsPerOp, g8.maxCFAlloc)
 	}
-	if maxLdAlloc > 0 && snapScn.AllocsPerOp > maxLdAlloc {
+	if g8.maxLdAlloc > 0 && snapScn.AllocsPerOp > g8.maxLdAlloc {
 		return fmt.Errorf("snapshot graph load allocates %.0f per op, above the %.0f gate",
-			snapScn.AllocsPerOp, maxLdAlloc)
+			snapScn.AllocsPerOp, g8.maxLdAlloc)
+	}
+	if g8.maxE2EAlloc > 0 && svcScenario.AllocsPerOp > g8.maxE2EAlloc {
+		return fmt.Errorf("service end-to-end allocates %.0f per request, above the %.0f gate",
+			svcScenario.AllocsPerOp, g8.maxE2EAlloc)
+	}
+	if g8.maxP99Ratio > 0 && rpsScenario.P99Ratio > g8.maxP99Ratio {
+		return fmt.Errorf("sustained warm p99 %.2fms is %.1fx the uncontended %.2fms, above the %.1fx gate",
+			rpsScenario.P99Millis, rpsScenario.P99Ratio, rpsScenario.UncontendedP99Millis, g8.maxP99Ratio)
 	}
 	return nil
 }
@@ -627,47 +733,280 @@ func sameGraph(a, b *graph.Graph) bool {
 	return true
 }
 
-// serviceEndToEnd drives a mixed workload through the HTTP service: three
-// distinct model keys (cold fits, answered concurrently on the shared fit
-// pool) and nine warm repeats of each, measuring end-to-end request
-// latency and the resulting cache hit ratio.
-func serviceEndToEnd(dataset string, scale float64) (*Scenario, error) {
-	svc := service.New(service.Config{})
-	server := httptest.NewServer(svc.Handler())
-	defer server.Close()
+// servingConfig is the production serving configuration the service
+// scenarios run under: a bounded fit queue (admission control), a short
+// batch window coalescing identical predictions, and otherwise defaults.
+// fitQueueDepth is per-scenario: end-to-end sizes it to admit its three
+// cold keys, sustained-RPS sizes it to saturate.
+func servingConfig(fitQueueDepth int) service.Config {
+	return service.Config{
+		FitQueueDepth: fitQueueDepth,
+		BatchWindow:   20 * time.Millisecond,
+	}
+}
 
+// benchClient is one load-generating client speaking HTTP/1.1 over a
+// persistent connection with fully reused buffers, so the measured
+// allocation column reflects the serving stack rather than client
+// machinery (net/http's client costs ~50 allocs per request on its own,
+// which would drown the handler's budget). Payloads are pre-encoded once
+// (they are fixed per scenario); cache hits are detected with a byte
+// scan rather than a full JSON decode. The server always sets
+// Content-Length (the pooled writeJSON path), which is what makes the
+// fixed-frame read loop below correct.
+type benchClient struct {
+	conn net.Conn
+	br   *bufio.Reader
+	wbuf []byte // request frame under construction
+	buf  []byte // response body, reused
+}
+
+var cacheHitTrue = []byte(`"cache_hit":true`)
+
+// post sends one pre-encoded /predict payload. It returns the response
+// status, whether the prediction was answered from cache, and the
+// Retry-After header on shed (429/503) responses.
+func (c *benchClient) post(url string, payload []byte) (status int, cacheHit bool, retryAfter string, err error) {
+	status, cacheHit, retryAfter, err = c.roundTrip(url, payload)
+	if err != nil && c.conn != nil {
+		// The server may close an idle keep-alive connection between
+		// paced requests; reconnect once before reporting failure.
+		c.close()
+		status, cacheHit, retryAfter, err = c.roundTrip(url, payload)
+	}
+	return status, cacheHit, retryAfter, err
+}
+
+func (c *benchClient) close() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+func (c *benchClient) roundTrip(url string, payload []byte) (status int, cacheHit bool, retryAfter string, err error) {
+	host := strings.TrimPrefix(url, "http://")
+	if c.conn == nil {
+		conn, err := net.Dial("tcp", host)
+		if err != nil {
+			return 0, false, "", err
+		}
+		c.conn = conn
+		if c.br == nil {
+			c.br = bufio.NewReaderSize(conn, 4096)
+		} else {
+			c.br.Reset(conn)
+		}
+	}
+
+	w := append(c.wbuf[:0], "POST /predict HTTP/1.1\r\nHost: "...)
+	w = append(w, host...)
+	w = append(w, "\r\nContent-Type: application/json\r\nContent-Length: "...)
+	w = strconv.AppendInt(w, int64(len(payload)), 10)
+	w = append(w, "\r\n\r\n"...)
+	w = append(w, payload...)
+	c.wbuf = w
+	if _, err := c.conn.Write(w); err != nil {
+		return 0, false, "", err
+	}
+
+	line, err := c.br.ReadSlice('\n')
+	if err != nil {
+		return 0, false, "", err
+	}
+	if len(line) < 12 || !bytes.HasPrefix(line, []byte("HTTP/1.1 ")) {
+		return 0, false, "", fmt.Errorf("bench client: malformed status line %q", line)
+	}
+	status, err = strconv.Atoi(string(line[9:12]))
+	if err != nil {
+		return 0, false, "", fmt.Errorf("bench client: malformed status line %q", line)
+	}
+
+	bodyLen := -1
+	connClose := false
+	for {
+		line, err = c.br.ReadSlice('\n')
+		if err != nil {
+			return 0, false, "", err
+		}
+		if len(bytes.TrimRight(line, "\r\n")) == 0 {
+			break
+		}
+		if v, ok := headerValue(line, "Content-Length:"); ok {
+			if bodyLen, err = strconv.Atoi(string(v)); err != nil {
+				return 0, false, "", fmt.Errorf("bench client: bad Content-Length %q", v)
+			}
+		}
+		if v, ok := headerValue(line, "Retry-After:"); ok {
+			retryAfter = string(v)
+		}
+		if v, ok := headerValue(line, "Connection:"); ok && string(v) == "close" {
+			connClose = true
+		}
+	}
+	if bodyLen < 0 {
+		return 0, false, "", fmt.Errorf("bench client: response without Content-Length (status %d)", status)
+	}
+	if cap(c.buf) < bodyLen {
+		c.buf = make([]byte, bodyLen)
+	}
+	c.buf = c.buf[:bodyLen]
+	if _, err := io.ReadFull(c.br, c.buf); err != nil {
+		return 0, false, "", err
+	}
+	if connClose {
+		c.close()
+	}
+	if status != http.StatusOK {
+		return status, false, retryAfter, nil
+	}
+	return status, bytes.Contains(c.buf, cacheHitTrue), "", nil
+}
+
+// headerValue returns the trimmed value if the header line (still
+// carrying its \r\n) starts with the canonical-case name.
+func headerValue(line []byte, name string) ([]byte, bool) {
+	if len(line) < len(name) || string(line[:len(name)]) != name {
+		return nil, false
+	}
+	return bytes.TrimSpace(line[len(name):]), true
+}
+
+// encodePayloads pre-encodes the scenario's request bodies once.
+func encodePayloads(reqs []service.PredictRequest) ([][]byte, error) {
+	out := make([][]byte, len(reqs))
+	for i, r := range reqs {
+		blob, err := json.Marshal(r)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = blob
+	}
+	return out, nil
+}
+
+// warmKeyRequests are the three distinct model keys (one per algorithm
+// family) the service scenarios mix.
+func warmKeyRequests(dataset string, scale float64) []service.PredictRequest {
 	base := service.PredictRequest{
 		Dataset:        dataset,
 		Scale:          scale,
-		Algorithm:      "PR",
 		Ratio:          0.10,
 		TrainingRatios: trainingRatios,
 	}
 	var reqs []service.PredictRequest
 	for _, alg := range []string{"PR", "CC", "NH"} {
-		for rep := 0; rep < 10; rep++ {
-			r := base
-			r.Algorithm = alg
-			reqs = append(reqs, r)
+		r := base
+		r.Algorithm = alg
+		reqs = append(reqs, r)
+	}
+	return reqs
+}
+
+// elapsedRE masks the one non-deterministic response field when checking
+// warm responses for byte-identity.
+var elapsedRE = regexp.MustCompile(`"elapsed_ms":[0-9.eE+-]+`)
+
+// checkWarmByteIdentity posts each warm key twice — once inside the
+// coalescer's batch window of earlier traffic, once after the window has
+// certainly expired (a fresh leader computation) — and requires the
+// responses byte-identical modulo elapsed_ms. This is the serving
+// invariant the pooling/coalescing rewrite must preserve: sharing a
+// computed prediction never changes a single response byte.
+func checkWarmByteIdentity(url string, payloads [][]byte, window time.Duration) error {
+	client := &benchClient{}
+	for i, p := range payloads {
+		first, err := rawWarmBody(client, url, p)
+		if err != nil {
+			return err
 		}
+		time.Sleep(window + 10*time.Millisecond)
+		second, err := rawWarmBody(client, url, p)
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(first, second) {
+			return fmt.Errorf("warm response %d not byte-identical across the batch window:\n  %s\n  %s", i, first, second)
+		}
+	}
+	return nil
+}
+
+func rawWarmBody(c *benchClient, url string, payload []byte) ([]byte, error) {
+	status, _, _, err := c.post(url, payload)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("warm request: status %d: %s", status, c.buf)
+	}
+	return elapsedRE.ReplaceAll(bytes.Clone(c.buf), []byte(`"elapsed_ms":0`)), nil
+}
+
+// serviceEndToEnd drives a sustained mixed workload through the HTTP
+// service under the production serving configuration: three distinct
+// model keys (cold fits, answered concurrently on the shared fit pool)
+// and warm repeats of each, measuring end-to-end request latency and
+// allocations per request across the whole serving stack — HTTP
+// handling, JSON codecs, cache lookups, coalescing and the shared-pool
+// cold fits, amortized over the warm traffic they serve. This is the
+// scenario the -max-e2e-allocs CI gate is defined on.
+func serviceEndToEnd(dataset string, scale float64) (*Scenario, error) {
+	cfg := servingConfig(4) // admits all three cold keys
+	svc := service.New(cfg)
+	server := httptest.NewServer(svc.Handler())
+	defer server.Close()
+
+	const repsPerKey = 40
+	keys := warmKeyRequests(dataset, scale)
+	var reqs []service.PredictRequest
+	for rep := 0; rep < repsPerKey; rep++ {
+		reqs = append(reqs, keys...)
+	}
+	payloads, err := encodePayloads(reqs)
+	if err != nil {
+		return nil, err
 	}
 
 	// Four concurrent clients, first-error semantics — the same pool the
-	// fit pipeline uses. The allocation columns cover the whole serving
-	// stack: HTTP handling, cache lookups and the shared-pool cold fits.
-	clients := parallel.NewPool(4)
-	totalNs, allocs, bytes, err := measureOp(1, func() error {
-		return clients.ForEach(context.Background(), len(reqs),
-			func(_ context.Context, i int) error {
-				return postPredict(server.URL, reqs[i])
+	// fit pipeline uses. Each client owns its buffers.
+	const nClients = 4
+	clients := parallel.NewPool(nClients)
+	perClient := make([]benchClient, nClients)
+	var next atomic.Int64
+	var hits atomic.Int64
+	totalNs, allocs, bytes_, err := measureOp(1, func() error {
+		next.Store(-1)
+		return clients.ForEach(context.Background(), nClients,
+			func(_ context.Context, ci int) error {
+				c := &perClient[ci]
+				for {
+					i := int(next.Add(1))
+					if i >= len(reqs) {
+						return nil
+					}
+					status, hit, _, err := c.post(server.URL, payloads[i])
+					if err != nil {
+						return err
+					}
+					if status != http.StatusOK {
+						return fmt.Errorf("request %d: status %d: %s", i, status, c.buf)
+					}
+					if hit {
+						hits.Add(1)
+					}
+				}
 			})
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	st := svc.Stats()
-	hitRatio := st.HitRatio
+	if err := checkWarmByteIdentity(server.URL, payloads[:len(keys)], cfg.BatchWindow); err != nil {
+		return nil, err
+	}
+
+	hitRatio := float64(hits.Load()) / float64(len(reqs))
 	n := float64(len(reqs))
 	return &Scenario{
 		Name:          "service_end_to_end",
@@ -675,29 +1014,207 @@ func serviceEndToEnd(dataset string, scale float64) (*Scenario, error) {
 		NsPerOp:       totalNs / n,
 		OpsPerS:       n / (totalNs / 1e9),
 		AllocsPerOp:   allocs / n,
-		BytesPerOp:    bytes / n,
+		BytesPerOp:    bytes_ / n,
 		CacheHitRatio: &hitRatio,
 		Requests:      len(reqs),
 	}, nil
 }
 
-func postPredict(url string, r service.PredictRequest) error {
-	var body bytes.Buffer
-	if err := json.NewEncoder(&body).Encode(r); err != nil {
-		return err
+// percentile returns the p-th percentile (0..1) of sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
 	}
-	resp, err := http.Post(url+"/predict", "application/json", &body)
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// pacedWarmLoad drives the warm keys at a fixed offered load (open loop:
+// send times are scheduled up front, so a slow server accumulates
+// backlog instead of silently lowering the load) and returns the sorted
+// per-request latencies.
+func pacedWarmLoad(url string, payloads [][]byte, nRequests int, rps float64, nClients int) ([]time.Duration, error) {
+	interval := time.Duration(float64(time.Second) / rps)
+	latencies := make([]time.Duration, nRequests)
+	pool := parallel.NewPool(nClients)
+	start := time.Now()
+	var next atomic.Int64
+	next.Store(-1)
+	clients := make([]benchClient, nClients)
+	err := pool.ForEach(context.Background(), nClients, func(_ context.Context, ci int) error {
+		c := &clients[ci]
+		for {
+			i := int(next.Add(1))
+			if i >= nRequests {
+				return nil
+			}
+			due := start.Add(time.Duration(i) * interval)
+			if d := time.Until(due); d > 0 {
+				time.Sleep(d)
+			}
+			s := time.Now()
+			status, _, _, err := c.post(url, payloads[i%len(payloads)])
+			if err != nil {
+				return err
+			}
+			if status != http.StatusOK {
+				return fmt.Errorf("warm request %d: status %d: %s", i, status, c.buf)
+			}
+			latencies[i] = time.Since(s)
+		}
+	})
 	if err != nil {
+		return nil, err
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	return latencies, nil
+}
+
+// serviceSustainedRPS measures warm-hit latency under sustained mixed
+// traffic with admission control engaged. Phase 1 drives the warm keys
+// alone at a fixed offered load (the uncontended baseline). Phase 2
+// repeats the same warm load while cold clients hammer a stream of
+// distinct model keys as fast as the service will take them, saturating
+// the bounded fit queue so the excess is shed with 503 + Retry-After.
+// The scenario reports warm p50/p99 for both phases, their p99 ratio
+// (the -max-p99-ratio CI gate: cold saturation must not starve warm
+// traffic), the shed rate, and allocations per request across phase 2.
+func serviceSustainedRPS(dataset string, scale float64) (*Scenario, error) {
+	cfg := servingConfig(1) // two closed-loop cold clients vs one slot: saturated
+	// Leave one processor's worth of fit parallelism free for serving
+	// warm traffic — the ops guidance for latency-sensitive deployments
+	// (DESIGN.md §10); on a single-processor host there is nothing to
+	// spare and the admission queue is the only protection.
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		cfg.FitParallelism = n - 1
+	}
+	svc := service.New(cfg)
+	server := httptest.NewServer(svc.Handler())
+	defer server.Close()
+
+	keys := warmKeyRequests(dataset, scale)
+	warmPayloads, err := encodePayloads(keys)
+	if err != nil {
+		return nil, err
+	}
+	// Pre-warm the three models (cold fits paid outside the measurement).
+	warmup := &benchClient{}
+	for _, p := range warmPayloads {
+		if status, _, _, err := warmup.post(server.URL, p); err != nil || status != http.StatusOK {
+			return nil, fmt.Errorf("pre-warm: status %d err %v: %s", status, err, warmup.buf)
+		}
+	}
+
+	const (
+		warmPerPhase = 400
+		offeredRPS   = 300.0
+		warmClients  = 2
+		coldClients  = 2
+	)
+
+	uncontended, err := pacedWarmLoad(server.URL, warmPayloads, warmPerPhase, offeredRPS, warmClients)
+	if err != nil {
+		return nil, fmt.Errorf("uncontended phase: %w", err)
+	}
+
+	// Phase 2: the same warm load with saturating cold traffic beside it.
+	// Cold clients run closed-loop over distinct sample seeds; every
+	// response must be 200 (admitted), or 503/429 carrying Retry-After.
+	stop := make(chan struct{})
+	var coldOffered, coldShed atomic.Int64
+	var coldErr error
+	var coldWG sync.WaitGroup
+	coldBase := keys[0]
+	for ci := 0; ci < coldClients; ci++ {
+		coldWG.Add(1)
+		go func(ci int) {
+			defer coldWG.Done()
+			c := &benchClient{}
+			for seed := uint64(1); ; seed++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r := coldBase
+				r.SampleSeed = uint64(ci+2)*100000 + seed // distinct cold key per request
+				payload, err := json.Marshal(r)
+				if err != nil {
+					coldErr = err
+					return
+				}
+				status, _, retryAfter, err := c.post(server.URL, payload)
+				if err != nil {
+					coldErr = err
+					return
+				}
+				coldOffered.Add(1)
+				switch status {
+				case http.StatusOK:
+				case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+					coldShed.Add(1)
+					if retryAfter == "" {
+						coldErr = fmt.Errorf("shed response (status %d) missing Retry-After", status)
+						return
+					}
+					time.Sleep(2 * time.Millisecond)
+				default:
+					coldErr = fmt.Errorf("cold request: status %d: %s", status, c.buf)
+					return
+				}
+			}
+		}(ci)
+	}
+
+	var contended []time.Duration
+	totalNs, allocs, _, err := measureOp(1, func() error {
+		lats, err := pacedWarmLoad(server.URL, warmPayloads, warmPerPhase, offeredRPS, warmClients)
+		contended = lats
 		return err
+	})
+	close(stop)
+	coldWG.Wait()
+	if err != nil {
+		return nil, fmt.Errorf("contended phase: %w", err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		var msg map[string]string
-		_ = json.NewDecoder(resp.Body).Decode(&msg)
-		return fmt.Errorf("POST /predict: status %d: %s", resp.StatusCode, msg["error"])
+	if coldErr != nil {
+		return nil, fmt.Errorf("cold traffic: %w", coldErr)
 	}
-	var pr service.PredictResponse
-	return json.NewDecoder(resp.Body).Decode(&pr)
+
+	st := svc.Stats()
+	totalReqs := warmPerPhase + int(coldOffered.Load())
+	shedRate := 0.0
+	if n := coldOffered.Load(); n > 0 {
+		shedRate = float64(coldShed.Load()) / float64(n)
+	}
+	up50 := float64(percentile(uncontended, 0.50)) / 1e6
+	up99 := float64(percentile(uncontended, 0.99)) / 1e6
+	p50 := float64(percentile(contended, 0.50)) / 1e6
+	p99 := float64(percentile(contended, 0.99)) / 1e6
+	ratio := 0.0
+	if up99 > 0 {
+		ratio = p99 / up99
+	}
+	if st.Shed != coldShed.Load() {
+		return nil, fmt.Errorf("/stats shed %d disagrees with client-observed sheds %d", st.Shed, coldShed.Load())
+	}
+	return &Scenario{
+		Name:                 "service_sustained_rps",
+		Runs:                 1,
+		NsPerOp:              totalNs / float64(warmPerPhase),
+		OpsPerS:              float64(warmPerPhase) / (totalNs / 1e9),
+		AllocsPerOp:          allocs / float64(totalReqs),
+		Requests:             totalReqs,
+		P50Millis:            p50,
+		P99Millis:            p99,
+		UncontendedP50Millis: up50,
+		UncontendedP99Millis: up99,
+		P99Ratio:             ratio,
+		OfferedRPS:           offeredRPS,
+		ColdOffered:          int(coldOffered.Load()),
+		ColdShed:             int(coldShed.Load()),
+		ShedRate:             &shedRate,
+	}, nil
 }
 
 func writeResults(path string, res *Results) error {

@@ -10,6 +10,8 @@
 //	predictd -dataset-dir ./datasets                # serve real graphs by name
 //	predictd -max-models 128 -timeout 120s -workers 16
 //	predictd -fit-parallelism 8 -fit-timeout 2m     # cold-path budget
+//	predictd -fit-queue-depth 8 -max-inflight 256   # admission control (shed past the bound)
+//	predictd -batch-window 10ms -retry-after 2s     # coalescing + shed guidance
 //	predictd -pprof-addr 127.0.0.1:6060             # live profiling (off by default)
 //
 // API (JSON):
@@ -53,6 +55,10 @@ func main() {
 		dataDir   = flag.String("dataset-dir", "", "dataset registry directory (<name>.snap snapshots, <name>.txt/.el/.edges edge lists)")
 		fitPar    = flag.Int("fit-parallelism", 0, "shared fit-pool budget: sample pipelines running at once across all cold fits (0 = GOMAXPROCS)")
 		fitTO     = flag.Duration("fit-timeout", 0, "per-fit deadline, detached from request timeouts (0 = default 5m)")
+		fitQueue  = flag.Int("fit-queue-depth", 0, "cold fits outstanding before shedding with 503 (0 = 4x fit parallelism, <0 = unlimited)")
+		maxInfl   = flag.Int("max-inflight", 0, "hard bound on in-flight requests before shedding with 429 (0 = unlimited)")
+		batchWin  = flag.Duration("batch-window", 0, "coalesce identical predictions arriving within this window (0 = only overlapping requests)")
+		retry     = flag.Duration("retry-after", 0, "Retry-After guidance on shed responses (0 = default 1s)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables profiling")
 	)
 	flag.Parse()
@@ -78,6 +84,10 @@ func main() {
 		MaxBatch:       *maxBatch,
 		FitParallelism: *fitPar,
 		FitTimeout:     *fitTO,
+		FitQueueDepth:  *fitQueue,
+		MaxInFlight:    *maxInfl,
+		BatchWindow:    *batchWin,
+		ShedRetryAfter: *retry,
 		Cluster:        bsp.Config{Workers: *workers, Seed: *seed, Oracle: &oracle},
 		DatasetDir:     *dataDir,
 	})

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// elapsedRE matches the one non-deterministic response field: the
+// service-side wall-clock latency. Everything else in a PredictResponse
+// is fixed by the request's seeds.
+var elapsedRE = regexp.MustCompile(`"elapsed_ms":[0-9.eE+-]+`)
+
+// fingerprintRequests are the warm-path pins: one per algorithm family
+// plus a what-if worker override, all at the fast test scale. The golden
+// files under testdata/ hold the exact response bytes (elapsed_ms
+// normalized) captured before the pooled/coalesced request path rewrite;
+// the serving refactor must not change a single warm-path response byte.
+func fingerprintRequests() map[string]PredictRequest {
+	pr := testRequest()
+	cc := testRequest()
+	cc.Algorithm = "CC"
+	nh := testRequest()
+	nh.Algorithm = "NH"
+	whatif := testRequest()
+	whatif.Workers = 16
+	return map[string]PredictRequest{
+		"warm_pr.json":     pr,
+		"warm_cc.json":     cc,
+		"warm_nh.json":     nh,
+		"warm_pr_w16.json": whatif,
+	}
+}
+
+// warmResponseBytes drives one cold request to fit the model, then
+// returns the raw bytes of a second (warm) request with elapsed_ms
+// normalized to 0.
+func warmResponseBytes(t *testing.T, url string, req PredictRequest) []byte {
+	t.Helper()
+	post := func() (int, []byte) {
+		var body bytes.Buffer
+		enc := jsonEncode(t, req)
+		body.Write(enc)
+		resp, err := http.Post(url+"/predict", "application/json", &body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		blob, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, blob
+	}
+	if status, blob := post(); status != http.StatusOK {
+		t.Fatalf("cold predict: HTTP %d: %s", status, blob)
+	}
+	status, blob := post()
+	if status != http.StatusOK {
+		t.Fatalf("warm predict: HTTP %d: %s", status, blob)
+	}
+	return elapsedRE.ReplaceAll(blob, []byte(`"elapsed_ms":0`))
+}
+
+func jsonEncode(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestWarmResponseFingerprints pins the exact warm-path response bytes.
+// Regenerate the goldens (deliberately, when the response schema itself
+// changes) with:
+//
+//	PREDICT_UPDATE_FINGERPRINTS=1 go test ./internal/service -run Fingerprints
+func TestWarmResponseFingerprints(t *testing.T) {
+	_, server := newTestServer(t, Config{})
+	update := os.Getenv("PREDICT_UPDATE_FINGERPRINTS") != ""
+	for name, req := range fingerprintRequests() {
+		t.Run(name, func(t *testing.T) {
+			got := warmResponseBytes(t, server.URL, req)
+			path := filepath.Join("testdata", name)
+			if update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden %s (run with PREDICT_UPDATE_FINGERPRINTS=1 to capture): %v", path, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("warm response bytes diverged from the pinned pre-refactor golden\n got: %s\nwant: %s", got, want)
+			}
+		})
+	}
+}

@@ -1,11 +1,14 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -65,24 +68,43 @@ func (s *Service) requestContext(r *http.Request, timeoutMillis int64) (context.
 	return context.WithTimeout(r.Context(), d)
 }
 
+// shedError is the 429 the in-flight gate answers when MaxInFlight is
+// reached: admission control at the front door, before any body is read.
+func (s *Service) shedError() *Error {
+	return &Error{
+		Status:            http.StatusTooManyRequests,
+		RetryAfterSeconds: s.retryAfterSeconds(),
+		Msg: fmt.Sprintf("service: %d requests already in flight; retry later",
+			s.cfg.MaxInFlight),
+	}
+}
+
 func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if !s.reqGate.tryAcquire() {
+		writeServiceError(w, s.shedError())
+		return
+	}
+	defer s.reqGate.release()
+	c := codecPool.Get().(*codec)
+	defer codecPool.Put(c)
 	var req PredictRequest
-	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	if err := c.decodeJSON(w, r, &req); err != nil {
+		c.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	ctx, cancel := s.requestContext(r, req.TimeoutMillis)
 	defer cancel()
-	resp, err := s.Predict(ctx, req)
-	if err != nil {
-		writeServiceError(w, err)
+	resp := respPool.Get().(*PredictResponse)
+	defer respPool.Put(resp)
+	if err := s.predictInto(ctx, req, resp); err != nil {
+		c.writeServiceError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	c.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -90,17 +112,24 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if !s.reqGate.tryAcquire() {
+		writeServiceError(w, s.shedError())
+		return
+	}
+	defer s.reqGate.release()
+	c := codecPool.Get().(*codec)
+	defer codecPool.Put(c)
 	var batch BatchRequest
-	if err := decodeJSON(w, r, &batch); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+	if err := c.decodeJSON(w, r, &batch); err != nil {
+		c.writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	if len(batch.Requests) == 0 {
-		writeError(w, http.StatusBadRequest, "service: empty batch")
+		c.writeError(w, http.StatusBadRequest, "service: empty batch")
 		return
 	}
 	if len(batch.Requests) > s.cfg.MaxBatch {
-		writeError(w, http.StatusBadRequest, fmt.Sprintf(
+		c.writeError(w, http.StatusBadRequest, fmt.Sprintf(
 			"service: batch of %d exceeds limit %d", len(batch.Requests), s.cfg.MaxBatch))
 		return
 	}
@@ -142,7 +171,7 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.ElapsedMillis = float64(time.Since(start)) / float64(time.Millisecond)
-	writeJSON(w, http.StatusOK, resp)
+	c.writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Service) handleModels(w http.ResponseWriter, r *http.Request) {
@@ -245,9 +274,64 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // the long-running server's memory. Generous for the largest legal batch.
 const maxBodyBytes = 8 << 20
 
-// decodeJSON strictly decodes one size-limited JSON body into v.
-func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+// codec is one request's pooled JSON machinery: a body read buffer, a
+// bytes.Reader over it, and a write buffer with a json.Encoder bound to
+// it once (the encoder holds only the writer, so it is reusable across
+// requests as long as the buffer identity is stable). Pooling these is
+// most of the serving path's allocation win: without it every request
+// pays a fresh read buffer, encoder and encode buffer.
+type codec struct {
+	body []byte
+	br   bytes.Reader
+	out  bytes.Buffer
+	enc  *json.Encoder
+}
+
+var codecPool = sync.Pool{New: func() any {
+	c := &codec{body: make([]byte, 0, 4096)}
+	c.enc = json.NewEncoder(&c.out)
+	return c
+}}
+
+// respPool recycles the response structs the /predict handler fills —
+// predictInto overwrites every field, so entries carry no state between
+// requests (the slices they point at belong to immutable templates and
+// are never written through).
+var respPool = sync.Pool{New: func() any { return new(PredictResponse) }}
+
+// readBody reads the size-limited request body into the codec's reused
+// buffer and points the codec's reader at it.
+func (c *codec) readBody(w http.ResponseWriter, r *http.Request) error {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	b := c.body[:0]
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := body.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			c.body = b
+			return err
+		}
+	}
+	c.body = b
+	c.br.Reset(b)
+	return nil
+}
+
+// decodeJSON strictly decodes one size-limited JSON body into v. The
+// decoder itself is fresh per request (encoding/json has no decoder
+// reset), but it reads from the codec's pooled buffer instead of pulling
+// the body through its own internal buffering.
+func (c *codec) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	if err := c.readBody(w, r); err != nil {
+		return fmt.Errorf("service: malformed request body: %w", err)
+	}
+	dec := json.NewDecoder(&c.br)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("service: malformed request body: %w", err)
@@ -255,26 +339,63 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+// writeJSON encodes v into the codec's pooled buffer and writes it out
+// in one Write with an explicit Content-Length. The response bytes are
+// exactly what json.Encoder produces — the pre-pooling path encoded
+// straight to the wire, and the warm-path fingerprints pin that those
+// bytes never change.
+func (c *codec) writeJSON(w http.ResponseWriter, status int, v any) {
+	c.out.Reset()
+	if err := c.enc.Encode(v); err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(&c.out, `{"error":%q}`, "service: encoding response: "+err.Error())
+		_, _ = w.Write(c.out.Bytes())
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(c.out.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(c.out.Bytes())
+}
+
+func (c *codec) writeError(w http.ResponseWriter, status int, msg string) {
+	c.writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// writeJSON and writeError are the non-pooled forms for handlers that
+// have no codec in hand (one-off endpoints; tests).
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	c := codecPool.Get().(*codec)
+	c.writeJSON(w, status, v)
+	codecPool.Put(c)
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	writeJSON(w, status, map[string]string{"error": msg})
 }
 
-// writeServiceError maps service errors to HTTP statuses.
-func writeServiceError(w http.ResponseWriter, err error) {
+// writeServiceError maps service errors to HTTP statuses, attaching the
+// Retry-After hint shed (429/503) responses carry.
+func (c *codec) writeServiceError(w http.ResponseWriter, err error) {
 	var se *Error
 	if errors.As(err, &se) {
-		writeError(w, se.Status, se.Msg)
+		if se.RetryAfterSeconds > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(se.RetryAfterSeconds))
+		}
+		c.writeError(w, se.Status, se.Msg)
 		return
 	}
 	if errors.Is(err, context.DeadlineExceeded) {
-		writeError(w, http.StatusGatewayTimeout, err.Error())
+		c.writeError(w, http.StatusGatewayTimeout, err.Error())
 		return
 	}
-	writeError(w, http.StatusInternalServerError, err.Error())
+	c.writeError(w, http.StatusInternalServerError, err.Error())
+}
+
+func writeServiceError(w http.ResponseWriter, err error) {
+	c := codecPool.Get().(*codec)
+	c.writeServiceError(w, err)
+	codecPool.Put(c)
 }

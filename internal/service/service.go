@@ -39,7 +39,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
-	"strings"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -84,6 +84,30 @@ type Config struct {
 	// contexts (an abandoned request still warms the cache), so this is
 	// the only bound on a cold path that cannot finish; zero selects 5m.
 	FitTimeout time.Duration
+	// FitQueueDepth bounds how many cold fits may be outstanding at once
+	// (executing plus queued behind the fit pool). A cache miss past the
+	// bound is shed immediately with 503 + Retry-After instead of queuing
+	// unbounded work, so a burst of cold traffic cannot starve warm cache
+	// hits. Warm hits never consult the gate. Zero selects
+	// 4*FitParallelism; negative disables shedding (unbounded).
+	FitQueueDepth int
+	// MaxInFlight bounds concurrently served prediction requests
+	// (/predict and /predict/batch each count one); excess requests are
+	// shed with 429 + Retry-After. Zero or negative means unlimited.
+	MaxInFlight int
+	// BatchWindow coalesces identical predictions beyond the model
+	// cache's single-flight: requests for the same (model key, workers)
+	// that overlap in flight always share one computation, and a positive
+	// window additionally keeps each computed prediction shareable for
+	// that long after it completes — a sustained stream of identical warm
+	// requests then pays one extrapolation per window, not per request.
+	// Predictions are deterministic, so sharing never changes response
+	// bytes (only elapsed_ms, stamped per request). Zero coalesces
+	// overlapping requests only.
+	BatchWindow time.Duration
+	// ShedRetryAfter is the Retry-After hint attached to shed (429/503)
+	// responses; zero selects 1s.
+	ShedRetryAfter time.Duration
 	// Cluster is the sample-run execution environment. The zero value
 	// selects 8 workers priced by cluster.DefaultOracle() — the repo's
 	// stand-in for the paper's testbed.
@@ -117,6 +141,12 @@ func (c Config) withDefaults() Config {
 	if c.FitTimeout <= 0 {
 		c.FitTimeout = 5 * time.Minute
 	}
+	if c.FitQueueDepth == 0 {
+		c.FitQueueDepth = 4 * c.FitParallelism
+	}
+	if c.ShedRetryAfter <= 0 {
+		c.ShedRetryAfter = time.Second
+	}
 	if c.Cluster.Oracle == nil {
 		o := cluster.DefaultOracle()
 		c.Cluster.Oracle = &o
@@ -130,29 +160,43 @@ func (c Config) withDefaults() Config {
 // Service answers prediction requests from cached graphs and cost models.
 // All methods are safe for concurrent use.
 type Service struct {
-	cfg     Config
-	models  *cache[*core.Fitted]
-	graphs  *cache[*graph.Graph]
-	fitPool *parallel.Pool
-	start   time.Time
+	cfg      Config
+	models   *cache[*core.Fitted]
+	graphs   *cache[*graph.Graph]
+	fitPool  *parallel.Pool
+	fitGate  *gate // bounds outstanding cold fits (admission control)
+	reqGate  *gate // optional bound on in-flight requests
+	coalesce *coalescer
+	start    time.Time
+	// oracleFP fingerprints the cost oracle once at construction — it
+	// never changes afterwards, so modelKey must not re-hash it per
+	// request (reflection-heavy and allocating).
+	oracleFP uint64
 
 	// fits counts cold-path model fits (for tests and /healthz);
 	// fitsInFlight tracks fits currently executing; fitTimeouts counts
-	// fits killed by the per-fit deadline.
+	// fits killed by the per-fit deadline; requests counts Predict calls.
 	fits         atomic.Int64
 	fitsInFlight atomic.Int64
 	fitTimeouts  atomic.Int64
+	requests     atomic.Int64
 }
 
 // New returns a Service with the given configuration.
 func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", *cfg.Cluster.Oracle)
 	return &Service{
-		cfg:     cfg,
-		models:  newCache[*core.Fitted](cfg.MaxModels),
-		graphs:  newCache[*graph.Graph](cfg.MaxGraphs),
-		fitPool: parallel.NewPool(cfg.FitParallelism),
-		start:   time.Now(),
+		cfg:      cfg,
+		models:   newCache[*core.Fitted](cfg.MaxModels),
+		graphs:   newCache[*graph.Graph](cfg.MaxGraphs),
+		fitPool:  parallel.NewPool(cfg.FitParallelism),
+		fitGate:  newGate(cfg.FitQueueDepth),
+		reqGate:  newGate(cfg.MaxInFlight),
+		coalesce: newCoalescer(cfg.BatchWindow),
+		oracleFP: h.Sum64(),
+		start:    time.Now(),
 	}
 }
 
@@ -277,13 +321,15 @@ type PredictResponse struct {
 	ElapsedMillis float64 `json:"elapsed_ms"`
 }
 
-// modelKey canonicalizes the expensive half's inputs. Everything that
-// changes the fitted model is in the key; the what-if worker count is
-// deliberately not. The algorithm name is canonicalized ("PR" and
-// "PageRank" share a model) and epsilon only enters for the PageRank-
-// based algorithms that consume it, so epsilon-insensitive requests
-// cannot fragment the cache.
-func (s *Service) modelKey(r PredictRequest, registryKey string) string {
+// appendModelKey canonicalizes the expensive half's inputs into b.
+// Everything that changes the fitted model is in the key; the what-if
+// worker count is deliberately not. The algorithm name is canonicalized
+// ("PR" and "PageRank" share a model) and epsilon only enters for the
+// PageRank-based algorithms that consume it, so epsilon-insensitive
+// requests cannot fragment the cache. The key is built by appends into a
+// caller-provided buffer — the serving path computes it on every request,
+// so it must not pay fmt's boxing and scratch allocations.
+func (s *Service) appendModelKey(b []byte, r PredictRequest, registryKey string) []byte {
 	name, eps := r.Algorithm, 0.0
 	if alg, err := algorithms.ByName(r.Algorithm); err == nil {
 		name = alg.Name()
@@ -292,8 +338,10 @@ func (s *Service) modelKey(r PredictRequest, registryKey string) string {
 			eps = r.Epsilon
 		}
 	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "alg=%s,eps=%g", name, eps)
+	b = append(b, "alg="...)
+	b = append(b, name...)
+	b = append(b, ",eps="...)
+	b = strconv.AppendFloat(b, eps, 'g', -1, 64)
 	// Registry datasets enter under their graph-cache key (namespace +
 	// file mtime/size): a registry file named "Wiki" must not hit a model
 	// fitted on the generator stand-in of the same name, and a model
@@ -306,21 +354,40 @@ func (s *Service) modelKey(r PredictRequest, registryKey string) string {
 	if registryKey != "" {
 		data = registryKey
 	}
-	fmt.Fprintf(&b, "|data=%s,scale=%g,gseed=%d", data, r.Scale, r.GraphSeed)
-	fmt.Fprintf(&b, "|method=%s,ratio=%g,sseed=%d", r.Method, r.Ratio, r.SampleSeed)
-	ratios := make([]string, len(r.TrainingRatios))
+	b = append(b, "|data="...)
+	b = append(b, data...)
+	b = append(b, ",scale="...)
+	b = strconv.AppendFloat(b, r.Scale, 'g', -1, 64)
+	b = append(b, ",gseed="...)
+	b = strconv.AppendUint(b, r.GraphSeed, 10)
+	b = append(b, "|method="...)
+	b = append(b, r.Method...)
+	b = append(b, ",ratio="...)
+	b = strconv.AppendFloat(b, r.Ratio, 'g', -1, 64)
+	b = append(b, ",sseed="...)
+	b = strconv.AppendUint(b, r.SampleSeed, 10)
+	b = append(b, "|train="...)
 	for i, tr := range r.TrainingRatios {
-		ratios[i] = fmt.Sprintf("%g", tr)
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendFloat(b, tr, 'g', -1, 64)
 	}
-	fmt.Fprintf(&b, "|train=%s", strings.Join(ratios, ","))
-	// The oracle enters as an opaque fingerprint: any coefficient change
-	// invalidates the key without leaking the hidden ground truth into
-	// API responses.
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%+v", *s.cfg.Cluster.Oracle)
-	fmt.Fprintf(&b, "|cluster=w%d,s%d,o%x",
-		s.cfg.Cluster.Workers, s.cfg.Cluster.Seed, h.Sum64())
-	return b.String()
+	// The oracle enters as an opaque fingerprint (hashed once in New):
+	// any coefficient change invalidates the key without leaking the
+	// hidden ground truth into API responses.
+	b = append(b, "|cluster=w"...)
+	b = strconv.AppendInt(b, int64(s.cfg.Cluster.Workers), 10)
+	b = append(b, ",s"...)
+	b = strconv.AppendUint(b, s.cfg.Cluster.Seed, 10)
+	b = append(b, ",o"...)
+	b = strconv.AppendUint(b, s.oracleFP, 16)
+	return b
+}
+
+// modelKey is appendModelKey as a standalone string.
+func (s *Service) modelKey(r PredictRequest, registryKey string) string {
+	return string(s.appendModelKey(nil, r, registryKey))
 }
 
 // graphFor returns the requested dataset graph: the registry file at
@@ -387,27 +454,83 @@ func algorithmFor(name string, eps float64, n int) (algorithms.Algorithm, error)
 // (single-flight) and keeps running to completion even if ctx expires, so
 // the cache still warms; only the response is abandoned.
 func (s *Service) Predict(ctx context.Context, req PredictRequest) (*PredictResponse, error) {
+	var resp PredictResponse
+	if err := s.predictInto(ctx, req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// predictInto is Predict writing into a caller-owned response — the HTTP
+// handler passes a pooled struct so the warm path allocates nothing for
+// the response itself. Every field of out is overwritten on success.
+func (s *Service) predictInto(ctx context.Context, req PredictRequest, out *PredictResponse) error {
 	start := time.Now()
+	s.requests.Add(1)
 	req = req.withDefaults()
 	if err := req.Validate(); err != nil {
-		return nil, &Error{Status: 400, Msg: err.Error()}
+		return &Error{Status: 400, Msg: err.Error()}
 	}
 
 	// Resolve the dataset against the registry exactly once per request:
-	// graphFor and modelKey must agree on registry-vs-generator — and on
-	// the file version — even if the file appears, disappears or is
-	// replaced while the request is in flight.
+	// the prediction must agree on registry-vs-generator — and on the
+	// file version — even if the file appears, disappears or is replaced
+	// while the request is in flight.
 	var registryKey string
 	path, fi, _, registry := s.resolveDataset(req.Dataset)
 	if registry {
 		registryKey = datasetKey(req.Dataset, fi)
 	}
-	g, err := s.graphFor(ctx, req, path, registryKey)
+
+	// One buffer builds both keys; the model key is a prefix slice of the
+	// coalescer key, so the whole request path pays a single string
+	// allocation for its keys.
+	kb := make([]byte, 0, 192)
+	kb = s.appendModelKey(kb, req, registryKey)
+	modelKeyLen := len(kb)
+	kb = append(kb, "|w="...)
+	kb = strconv.AppendInt(kb, int64(req.Workers), 10)
+	ckey := string(kb)
+	key := ckey[:modelKeyLen]
+
+	// The whole prediction — graph lookup, model lookup, extrapolation,
+	// response assembly — runs coalesced: concurrent identical requests
+	// share one computation, and a configured batch window keeps the
+	// result shareable briefly after it completes. The computation is
+	// detached from ctx (like the cache fills inside it), so a canceled
+	// request abandons only its response.
+	tmpl, joinedDone, err := s.coalesce.do(ctx, ckey, func() (*PredictResponse, error) {
+		return s.computePrediction(req, path, registryKey, key)
+	})
 	if err != nil {
 		if ctx.Err() != nil {
-			return nil, &Error{Status: 504, Msg: fmt.Sprintf(
-				"service: request timed out generating dataset %s", req.Dataset)}
+			return &Error{Status: 504, Msg: fmt.Sprintf(
+				"service: request timed out predicting %s on dataset %s", req.Algorithm, req.Dataset)}
 		}
+		var se *Error
+		if errors.As(err, &se) {
+			return se
+		}
+		return &Error{Status: 500, Msg: err.Error()}
+	}
+	*out = *tmpl
+	if joinedDone {
+		// A sharer that arrived after the computation finished is a cache
+		// hit no matter what the computing request observed: the model was
+		// cached before this request began.
+		out.CacheHit = true
+	}
+	out.ElapsedMillis = float64(time.Since(start)) / float64(time.Millisecond)
+	return nil
+}
+
+// computePrediction is the coalesced unit of work: everything past
+// validation and key construction. It runs detached from any request
+// context; its response template is immutable once returned (sharers
+// copy it), with ElapsedMillis left zero for the per-request stamp.
+func (s *Service) computePrediction(req PredictRequest, path, registryKey, key string) (*PredictResponse, error) {
+	g, err := s.graphFor(context.Background(), req, path, registryKey)
+	if err != nil {
 		var se *Error
 		if errors.As(err, &se) {
 			return nil, se
@@ -415,14 +538,18 @@ func (s *Service) Predict(ctx context.Context, req PredictRequest) (*PredictResp
 		return nil, &Error{Status: 400, Msg: err.Error()}
 	}
 
-	key := s.modelKey(req, registryKey)
-	fitted, hit, err := s.models.get(ctx, key, func() (*core.Fitted, error) {
+	fitted, hit, err := s.models.get(context.Background(), key, func() (*core.Fitted, error) {
+		if !s.fitGate.tryAcquire() {
+			return nil, &Error{Status: 503, RetryAfterSeconds: s.retryAfterSeconds(), Msg: fmt.Sprintf(
+				"service: fit queue full (%d cold fits outstanding); retry later", s.cfg.FitQueueDepth)}
+		}
+		defer s.fitGate.release()
 		return s.fit(req, g)
 	})
 	if err != nil {
-		if ctx.Err() != nil {
-			return nil, &Error{Status: 504, Msg: fmt.Sprintf(
-				"service: request timed out while fitting model %s", key)}
+		var se *Error
+		if errors.As(err, &se) {
+			return nil, se
 		}
 		return nil, &Error{Status: 500, Msg: err.Error()}
 	}
@@ -447,12 +574,21 @@ func (s *Service) Predict(ctx context.Context, req PredictRequest) (*PredictResp
 		CacheHit:            hit,
 		Workers:             workers,
 		SampleRunSeconds:    pred.SampleRunSeconds,
-		ElapsedMillis:       float64(time.Since(start)) / float64(time.Millisecond),
 	}
 	for _, f := range pred.Model.SelectedFeatures() {
 		resp.ModelFeatures = append(resp.ModelFeatures, string(f))
 	}
 	return resp, nil
+}
+
+// retryAfterSeconds is the whole-second Retry-After hint on shed
+// responses (at least 1: zero would tell clients to hammer immediately).
+func (s *Service) retryAfterSeconds() int {
+	sec := int(s.cfg.ShedRetryAfter / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
 }
 
 // fit runs the expensive pipeline half for a request (cold path). Its
@@ -542,23 +678,40 @@ type Stats struct {
 	PoolSize     int   `json:"pool_size"`
 	PoolInFlight int64 `json:"pool_in_flight"`
 	PoolDepth    int64 `json:"pool_depth"`
+	// Requests counts Predict calls ever served (batch items count
+	// individually); Coalesced counts responses answered by sharing
+	// another request's prediction computation.
+	Requests  int64 `json:"requests"`
+	Coalesced int64 `json:"coalesced"`
+	// FitQueueCap is the admission bound on outstanding cold fits (0 =
+	// unlimited); FitQueueDepth the slots held right now; Shed the
+	// requests rejected by admission control (fit-queue 503s plus
+	// in-flight 429s).
+	FitQueueCap   int   `json:"fit_queue_cap"`
+	FitQueueDepth int64 `json:"fit_queue_depth"`
+	Shed          int64 `json:"shed"`
 }
 
 // Stats returns a snapshot of the cache, fit and pool counters.
 func (s *Service) Stats() Stats {
 	h, m, ev := s.models.counters()
 	st := Stats{
-		Models:       s.models.len(),
-		Graphs:       s.graphs.len(),
-		Hits:         h,
-		Misses:       m,
-		Evictions:    ev,
-		Fits:         s.fits.Load(),
-		InFlightFits: s.fitsInFlight.Load(),
-		FitTimeouts:  s.fitTimeouts.Load(),
-		PoolSize:     s.fitPool.Size(),
-		PoolInFlight: s.fitPool.InFlight(),
-		PoolDepth:    s.fitPool.Waiting(),
+		Models:        s.models.len(),
+		Graphs:        s.graphs.len(),
+		Hits:          h,
+		Misses:        m,
+		Evictions:     ev,
+		Fits:          s.fits.Load(),
+		InFlightFits:  s.fitsInFlight.Load(),
+		FitTimeouts:   s.fitTimeouts.Load(),
+		PoolSize:      s.fitPool.Size(),
+		PoolInFlight:  s.fitPool.InFlight(),
+		PoolDepth:     s.fitPool.Waiting(),
+		Requests:      s.requests.Load(),
+		Coalesced:     s.coalesce.coalesced.Load(),
+		FitQueueCap:   s.fitGate.capacity(),
+		FitQueueDepth: s.fitGate.held(),
+		Shed:          s.fitGate.shed.Load() + s.reqGate.shed.Load(),
 	}
 	if total := h + m; total > 0 {
 		st.HitRatio = float64(h) / float64(total)
@@ -628,10 +781,12 @@ func (s *Service) WarmFromHistory(path string) (warmed, skipped int, err error) 
 	return warmed, skipped, nil
 }
 
-// Error is a service error with an HTTP status.
+// Error is a service error with an HTTP status. Shed (429/503) errors
+// carry a Retry-After hint in whole seconds.
 type Error struct {
-	Status int
-	Msg    string
+	Status            int
+	Msg               string
+	RetryAfterSeconds int
 }
 
 // Error implements the error interface.
