@@ -21,6 +21,10 @@
 //	                      plus its speedup and a bit-identity check
 //	graph_load_snapshot   binary CSR snapshot load of the same graph, plus
 //	                      its speedup over the text baseline
+//	graph_load_mmap       zero-copy mmap of the same snapshot
+//	                      (graph.MmapSnapshot): full validation, O(1)
+//	                      allocation — plus its speedup over the copy-in
+//	                      snapshot load (skipped where mmap is unsupported)
 //	service_end_to_end    a mixed cold/warm workload over the HTTP service
 //	                      under the production serving config (pooled
 //	                      codecs, admission control, batch-window
@@ -40,6 +44,7 @@
 //	bench -max-superstep-allocs 32         # CI gate: engine allocs/superstep
 //	bench -max-coldfit-allocs 2500         # CI gate: sequential cold-fit allocs
 //	bench -max-load-allocs 64              # CI gate: snapshot-load allocs
+//	bench -max-mmap-load-allocs 16         # CI gate: mmap snapshot-load allocs
 //	bench -max-e2e-allocs 150              # CI gate: serving allocs/request
 //	bench -max-p99-ratio 5                 # CI gate: warm p99 under cold saturation
 //	bench -summary BENCH_results.json      # markdown latency summary of an artifact
@@ -57,6 +62,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -104,6 +110,11 @@ func printSummary(path string) error {
 	fmt.Println("|---|---|")
 	for _, sc := range res.Scenarios {
 		switch sc.Name {
+		case "graph_load_mmap":
+			fmt.Printf("| mmap load allocs/op | %.0f |\n", sc.AllocsPerOp)
+			if sc.SpeedupVsCopyIn > 0 {
+				fmt.Printf("| mmap load vs copy-in | %.2fx |\n", sc.SpeedupVsCopyIn)
+			}
 		case "service_end_to_end":
 			fmt.Printf("| e2e allocs/request | %.0f |\n", sc.AllocsPerOp)
 			if sc.CacheHitRatio != nil {
@@ -143,6 +154,9 @@ type Scenario struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	// SpeedupVsSequential is set on cold_fit_parallel.
 	SpeedupVsSequential float64 `json:"speedup_vs_sequential,omitempty"`
+	// SpeedupVsCopyIn is set on graph_load_mmap: the mmap load's speedup
+	// over the copy-in snapshot load of the same file.
+	SpeedupVsCopyIn float64 `json:"speedup_vs_copyin,omitempty"`
 	// CoefficientsMatch is set on cold_fit_parallel: whether the parallel
 	// fit's model is bit-identical to the sequential baseline's.
 	CoefficientsMatch *bool `json:"coefficients_match,omitempty"`
@@ -189,6 +203,7 @@ func main() {
 		maxSSAlloc  = flag.Float64("max-superstep-allocs", 0, "fail (exit 1) if steady-state engine allocs per superstep exceed this (0 disables the gate)")
 		maxCFAlloc  = flag.Float64("max-coldfit-allocs", 0, "fail (exit 1) if sequential cold-fit allocs per op exceed this (0 disables the gate)")
 		maxLdAlloc  = flag.Float64("max-load-allocs", 0, "fail (exit 1) if snapshot graph-load allocs per op exceed this (0 disables the gate)")
+		maxMmAlloc  = flag.Float64("max-mmap-load-allocs", 0, "fail (exit 1) if mmap snapshot-load allocs per op exceed this (0 disables the gate; also fails if mmap is unsupported on the host)")
 		maxE2EAlloc = flag.Float64("max-e2e-allocs", 0, "fail (exit 1) if service_end_to_end allocs per request exceed this (0 disables the gate)")
 		maxP99Ratio = flag.Float64("max-p99-ratio", 0, "fail (exit 1) if the sustained-RPS warm p99 exceeds this multiple of the uncontended warm p99 (0 disables the gate)")
 		summary     = flag.String("summary", "", "print a markdown serving-latency summary of an existing artifact and exit")
@@ -206,6 +221,7 @@ func main() {
 		maxSSAlloc:  *maxSSAlloc,
 		maxCFAlloc:  *maxCFAlloc,
 		maxLdAlloc:  *maxLdAlloc,
+		maxMmAlloc:  *maxMmAlloc,
 		maxE2EAlloc: *maxE2EAlloc,
 		maxP99Ratio: *maxP99Ratio,
 	}); err != nil {
@@ -220,6 +236,7 @@ type gates struct {
 	maxSSAlloc  float64
 	maxCFAlloc  float64
 	maxLdAlloc  float64
+	maxMmAlloc  float64
 	maxE2EAlloc float64
 	maxP99Ratio float64
 }
@@ -338,9 +355,11 @@ func run(out, dataset string, flagScale float64, runs int, g8 gates) error {
 		return fmt.Errorf("graph_load: %w", err)
 	}
 	for _, s := range loadScns {
-		res.add(*s)
+		if s != nil { // mmap scenario is nil where the platform lacks mmap
+			res.add(*s)
+		}
 	}
-	snapScn := loadScns[2]
+	snapScn, mmapScn := loadScns[2], loadScns[3]
 
 	svcScenario, err := serviceEndToEnd(dataset, scale)
 	if err != nil {
@@ -379,6 +398,15 @@ func run(out, dataset string, flagScale float64, runs int, g8 gates) error {
 	if g8.maxLdAlloc > 0 && snapScn.AllocsPerOp > g8.maxLdAlloc {
 		return fmt.Errorf("snapshot graph load allocates %.0f per op, above the %.0f gate",
 			snapScn.AllocsPerOp, g8.maxLdAlloc)
+	}
+	if g8.maxMmAlloc > 0 {
+		if mmapScn == nil {
+			return fmt.Errorf("mmap load gate set but mmap snapshots are unsupported on this host")
+		}
+		if mmapScn.AllocsPerOp > g8.maxMmAlloc {
+			return fmt.Errorf("mmap snapshot load allocates %.0f per op, above the %.0f gate",
+				mmapScn.AllocsPerOp, g8.maxMmAlloc)
+		}
 	}
 	if g8.maxE2EAlloc > 0 && svcScenario.AllocsPerOp > g8.maxE2EAlloc {
 		return fmt.Errorf("service end-to-end allocates %.0f per request, above the %.0f gate",
@@ -631,8 +659,8 @@ func inducedSubgraph(g *graph.Graph) (*Scenario, error) {
 // their speedup over the text baseline in SpeedupVsSequential, and all
 // three loads are checked bit-identical to the source graph (the loader's
 // core contract) before the scenarios are reported.
-func graphLoad(g *graph.Graph, runs int) ([3]*Scenario, error) {
-	var out [3]*Scenario
+func graphLoad(g *graph.Graph, runs int) ([4]*Scenario, error) {
+	var out [4]*Scenario
 	dir, err := os.MkdirTemp("", "bench-load-*")
 	if err != nil {
 		return out, err
@@ -703,8 +731,50 @@ func graphLoad(g *graph.Graph, runs int) ([3]*Scenario, error) {
 	}
 	snap.SpeedupVsSequential = text.NsPerOp / snap.NsPerOp
 
-	out[0], out[1], out[2] = text, par, snap
+	mm, err := mmapLoad(g, snapPath, runs)
+	if err != nil {
+		return out, err
+	}
+	if mm != nil {
+		mm.SpeedupVsSequential = text.NsPerOp / mm.NsPerOp
+		mm.SpeedupVsCopyIn = snap.NsPerOp / mm.NsPerOp
+	}
+
+	out[0], out[1], out[2], out[3] = text, par, snap, mm
 	return out, nil
+}
+
+// mmapLoad measures the zero-copy snapshot path: map + validate per op,
+// with the previous iteration's mapping closed inside the op so exactly
+// one generation is live at a time (the registry's eviction pattern).
+// The identity check runs against the final, still-open mapping. Returns
+// a nil scenario where the platform cannot mmap.
+func mmapLoad(g *graph.Graph, snapPath string, runs int) (*Scenario, error) {
+	var mg *graph.MappedGraph
+	ns, allocs, bytes, err := measureOp(runs, func() error {
+		if mg != nil {
+			if err := mg.Close(); err != nil {
+				return err
+			}
+		}
+		m, err := graph.MmapSnapshot(snapPath)
+		mg = m
+		return err
+	})
+	if err != nil {
+		if errors.Is(err, graph.ErrMmapUnsupported) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer mg.Close()
+	if !sameGraph(g, mg.Graph()) {
+		return nil, fmt.Errorf("graph_load_mmap: mapped graph differs from the source graph")
+	}
+	return &Scenario{
+		Name: "graph_load_mmap", Runs: runs, NsPerOp: ns, OpsPerS: opsPerS(ns),
+		AllocsPerOp: allocs, BytesPerOp: bytes,
+	}, nil
 }
 
 // sameGraph compares two graphs through the exported CSR accessors.

@@ -8,6 +8,7 @@
 //	predictd -addr :8080
 //	predictd -addr :8080 -history models.jsonl      # warm + persist cache
 //	predictd -dataset-dir ./datasets                # serve real graphs by name
+//	predictd -dataset-dir ./datasets -mmap-datasets # zero-copy snapshots (datasets larger than RAM)
 //	predictd -max-models 128 -timeout 120s -workers 16
 //	predictd -fit-parallelism 8 -fit-timeout 2m     # cold-path budget
 //	predictd -fit-queue-depth 8 -max-inflight 256   # admission control (shed past the bound)
@@ -53,6 +54,7 @@ func main() {
 		seed      = flag.Uint64("seed", 0, "cost-oracle noise seed")
 		histFile  = flag.String("history", "", "JSON-lines file: warm the model cache at startup, persist it at shutdown")
 		dataDir   = flag.String("dataset-dir", "", "dataset registry directory (<name>.snap snapshots, <name>.txt/.el/.edges edge lists)")
+		mmapData  = flag.Bool("mmap-datasets", false, "serve .snap registry datasets from mmap'd pages (zero-copy, shared across processes; falls back to copy-in where unsupported)")
 		fitPar    = flag.Int("fit-parallelism", 0, "shared fit-pool budget: sample pipelines running at once across all cold fits (0 = GOMAXPROCS)")
 		fitTO     = flag.Duration("fit-timeout", 0, "per-fit deadline, detached from request timeouts (0 = default 5m)")
 		fitQueue  = flag.Int("fit-queue-depth", 0, "cold fits outstanding before shedding with 503 (0 = 4x fit parallelism, <0 = unlimited)")
@@ -90,6 +92,7 @@ func main() {
 		ShedRetryAfter: *retry,
 		Cluster:        bsp.Config{Workers: *workers, Seed: *seed, Oracle: &oracle},
 		DatasetDir:     *dataDir,
+		MmapDatasets:   *mmapData,
 	})
 
 	// persistPath is where the cache snapshot lands at shutdown. If the

@@ -2,6 +2,8 @@ package graph
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -126,6 +128,59 @@ func FuzzReadSnapshot(f *testing.F) {
 		}
 		if !bytes.Equal(out.Bytes(), data) {
 			t.Fatal("accepted snapshot is not canonical: re-encode differs from input")
+		}
+	})
+}
+
+// FuzzMmapSnapshot asserts reader equivalence over arbitrary bytes: the
+// mmap alias path accepts exactly the inputs the copy-in reader accepts
+// (same error text on rejection, since both run the shared frame and
+// structural checks) and decodes accepted inputs to an identical graph.
+func FuzzMmapSnapshot(f *testing.F) {
+	if !mmapSupported || !hostLittleEndian {
+		f.Skip("mmap snapshots unsupported on this platform")
+	}
+	g := MustFromEdges(5, [][2]VertexID{{0, 1}, {0, 4}, {2, 3}, {4, 0}})
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	b := NewBuilder(3)
+	b.AddWeightedEdge(0, 1, 0.5)
+	b.AddWeightedEdge(2, 1, -3)
+	wg, err := b.Build()
+	if err != nil {
+		f.Fatal(err)
+	}
+	buf.Reset()
+	if err := WriteSnapshot(&buf, wg); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bytes.Clone(buf.Bytes()))
+	f.Add(valid[:len(valid)-3])
+	f.Add(bytes.Clone(snapshotMagic[:]))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.snap")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		want, readErr := ReadSnapshot(bytes.NewReader(data))
+		mg, mmapErr := MmapSnapshot(path)
+		if (readErr == nil) != (mmapErr == nil) {
+			t.Fatalf("readers disagree: copy-in err = %v, mmap err = %v", readErr, mmapErr)
+		}
+		if readErr != nil {
+			if readErr.Error() != mmapErr.Error() {
+				t.Fatalf("error text differs:\n  copy-in: %v\n  mmap:    %v", readErr, mmapErr)
+			}
+			return
+		}
+		defer mg.Close()
+		if !graphsIdentical(want, mg.Graph()) {
+			t.Fatal("mapped graph differs from copy-in decode")
 		}
 	})
 }

@@ -46,6 +46,12 @@ type Graph struct {
 	// reverse adjacency first.
 	inDegOnce   sync.Once
 	sortedInDeg []int
+
+	// mapped is non-nil for graphs whose CSR slices alias an mmap'd
+	// snapshot (MmapSnapshot). The reference keeps the mapping alive for
+	// as long as the Graph is reachable, so the finalizer-driven munmap
+	// can never pull pages out from under a live graph. See mmap.go.
+	mapped *mmapRegion
 }
 
 // NumVertices reports the number of vertices.

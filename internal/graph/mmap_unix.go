@@ -1,0 +1,28 @@
+//go:build unix
+
+package graph
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared, so every process
+// mapping the same snapshot shares one page-cache copy.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size > math.MaxInt {
+		return nil, fmt.Errorf("file size %d exceeds the address space", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmapFile(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

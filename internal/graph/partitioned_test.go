@@ -1,0 +1,255 @@
+package graph
+
+import "testing"
+
+// cutsFor slices n vertices into parts roughly equal ranges — enough for
+// representation tests, which must hold for ANY valid cut points (the
+// edge-balanced cut quality is bsp.Partition's concern, tested there).
+func cutsFor(n, parts int) []VertexID {
+	starts := make([]VertexID, parts+1)
+	for i := 0; i <= parts; i++ {
+		starts[i] = VertexID(i * n / parts)
+	}
+	return starts
+}
+
+// partitionTestGraph builds a deterministic skewed random graph (an LCG
+// drives both endpoints; low-ID vertices get extra edges so partitions
+// see uneven degree mass, like the preferential-attachment graphs the
+// higher layers use).
+func partitionTestGraph(t *testing.T) *Graph {
+	t.Helper()
+	const n = 2000
+	b := NewBuilder(n)
+	state := uint64(7)
+	next := func(mod int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(mod))
+	}
+	for i := 0; i < 5*n; i++ {
+		src := next(n)
+		if i%3 == 0 {
+			src = next(n / 20) // skew: 5% of vertices take a third of the edges
+		}
+		b.AddEdge(VertexID(src), VertexID(next(n)))
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewPartitionedValidation(t *testing.T) {
+	g := MustFromEdges(4, [][2]VertexID{{0, 1}, {2, 3}})
+	for name, starts := range map[string][]VertexID{
+		"too_few":       {0},
+		"bad_first":     {1, 4},
+		"bad_last":      {0, 3},
+		"non_monotone":  {0, 3, 2, 4},
+		"past_the_end":  {0, 5, 4},
+		"negative_cut":  {0, -1, 4},
+		"negative_last": {0, -4},
+	} {
+		if _, err := NewPartitioned(g, starts); err == nil {
+			t.Errorf("%s: NewPartitioned(%v) accepted invalid cuts", name, starts)
+		}
+	}
+	p, err := NewPartitioned(g, []VertexID{0, 2, 2, 4})
+	if err != nil {
+		t.Fatalf("valid cuts rejected: %v", err)
+	}
+	if p.NumPartitions() != 3 {
+		t.Fatalf("NumPartitions = %d, want 3", p.NumPartitions())
+	}
+	if lo, hi := p.Bounds(1); lo != 2 || hi != 2 {
+		t.Fatalf("empty partition bounds = [%d, %d), want [2, 2)", lo, hi)
+	}
+}
+
+// TestPartitionViewsAlias pins the zero-copy contract: a view's adjacency
+// slice IS the flat graph's — same backing array, not a copy.
+func TestPartitionViewsAlias(t *testing.T) {
+	g := partitionTestGraph(t)
+	p, err := NewPartitioned(g, cutsFor(g.NumVertices(), 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.NumPartitions(); i++ {
+		v := p.View(i)
+		for u := v.Lo; u < v.Hi; u++ {
+			flat := g.OutNeighbors(u)
+			through := v.OutNeighbors(u)
+			if len(flat) != len(through) {
+				t.Fatalf("vertex %d: view degree %d, flat %d", u, len(through), len(flat))
+			}
+			if len(flat) > 0 && &flat[0] != &through[0] {
+				t.Fatalf("vertex %d: view adjacency is a copy, not an alias", u)
+			}
+			if v.OutDegree(u) != len(flat) {
+				t.Fatalf("vertex %d: OutDegree mismatch", u)
+			}
+		}
+	}
+}
+
+// TestPartitionedCoversAllEdges walks every view and requires the union
+// of their adjacencies to reproduce the flat edge set exactly, in order.
+func TestPartitionedCoversAllEdges(t *testing.T) {
+	g := partitionTestGraph(t)
+	for _, parts := range []int{1, 2, 7} {
+		p, err := NewPartitioned(g, cutsFor(g.NumVertices(), parts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		var rebuilt []VertexID
+		for i := 0; i < p.NumPartitions(); i++ {
+			v := p.View(i)
+			total += v.NumEdges()
+			for u := v.Lo; u < v.Hi; u++ {
+				rebuilt = append(rebuilt, v.OutNeighbors(u)...)
+			}
+		}
+		if total != g.NumEdges() {
+			t.Fatalf("parts=%d: views own %d edges, graph has %d", parts, total, g.NumEdges())
+		}
+		flat := make([]VertexID, 0, g.NumEdges())
+		for u := 0; u < g.NumVertices(); u++ {
+			flat = append(flat, g.OutNeighbors(VertexID(u))...)
+		}
+		if len(rebuilt) != len(flat) {
+			t.Fatalf("parts=%d: rebuilt %d edges, want %d", parts, len(rebuilt), len(flat))
+		}
+		for i := range flat {
+			if rebuilt[i] != flat[i] {
+				t.Fatalf("parts=%d: edge %d differs via views", parts, i)
+			}
+		}
+	}
+}
+
+func TestPartitionOf(t *testing.T) {
+	g := partitionTestGraph(t)
+	for _, parts := range []int{1, 2, 7} {
+		p, err := NewPartitioned(g, cutsFor(g.NumVertices(), parts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			i := p.PartitionOf(VertexID(v))
+			lo, hi := p.Bounds(i)
+			if VertexID(v) < lo || VertexID(v) >= hi {
+				t.Fatalf("parts=%d: PartitionOf(%d) = %d with bounds [%d, %d)", parts, v, i, lo, hi)
+			}
+		}
+	}
+	// Empty partitions never own a vertex.
+	p, err := NewPartitioned(g, []VertexID{0, 0, VertexID(g.NumVertices()), VertexID(g.NumVertices())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i := p.PartitionOf(0); i != 1 {
+		t.Fatalf("PartitionOf(0) = %d, want the owning partition 1", i)
+	}
+	if i := p.PartitionOf(VertexID(g.NumVertices() - 1)); i != 1 {
+		t.Fatalf("PartitionOf(last) = %d, want 1", i)
+	}
+}
+
+// TestPartitionedBFSOrderIdentity is the observational-identity property
+// the tentpole promises: a BFS routed entirely through partition views
+// visits vertices in exactly the flat order, at every partition count.
+func TestPartitionedBFSOrderIdentity(t *testing.T) {
+	g := partitionTestGraph(t)
+	srcs := []VertexID{0, 1, VertexID(g.NumVertices() / 2), VertexID(g.NumVertices() - 1)}
+	for _, parts := range []int{1, 2, 7} {
+		p, err := NewPartitioned(g, cutsFor(g.NumVertices(), parts))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range srcs {
+			flat := BFSOrder(g, src)
+			viaViews := p.BFSOrder(src)
+			if len(flat) != len(viaViews) {
+				t.Fatalf("parts=%d src=%d: visit counts differ (%d vs %d)", parts, src, len(flat), len(viaViews))
+			}
+			for i := range flat {
+				if flat[i] != viaViews[i] {
+					t.Fatalf("parts=%d src=%d: visit order diverges at step %d (%d vs %d)",
+						parts, src, i, flat[i], viaViews[i])
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionedMmapBFS composes the two tentpole pieces: partition an
+// mmap'd graph and require the same BFS order as the flat heap graph —
+// views over mapped pages behave exactly like views over heap arrays.
+func TestPartitionedMmapBFS(t *testing.T) {
+	if !mmapSupported || !hostLittleEndian {
+		t.Skip("mmap snapshots unsupported on this platform")
+	}
+	g := partitionTestGraph(t)
+	path := writeSnapTemp(t, g)
+	mg, err := MmapSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mg.Close()
+	p, err := NewPartitioned(mg.Graph(), cutsFor(g.NumVertices(), 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := BFSOrder(g, 0)
+	mapped := p.BFSOrder(0)
+	if len(flat) != len(mapped) {
+		t.Fatalf("visit counts differ: %d vs %d", len(flat), len(mapped))
+	}
+	for i := range flat {
+		if flat[i] != mapped[i] {
+			t.Fatalf("partitioned mmap BFS diverges at step %d", i)
+		}
+	}
+}
+
+// TestPartitionViewWeights pins weight access through views against the
+// flat accessors, including aliasing.
+func TestPartitionViewWeights(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddWeightedEdge(0, 1, 0.5)
+	b.AddWeightedEdge(0, 5, 2)
+	b.AddWeightedEdge(3, 2, -1)
+	b.AddWeightedEdge(5, 0, 7)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPartitioned(g, []VertexID{0, 3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < p.NumPartitions(); i++ {
+		v := p.View(i)
+		for u := v.Lo; u < v.Hi; u++ {
+			flat := g.OutWeights(u)
+			through := v.OutWeights(u)
+			if len(flat) != len(through) {
+				t.Fatalf("vertex %d: weight lengths differ", u)
+			}
+			if len(flat) > 0 && &flat[0] != &through[0] {
+				t.Fatalf("vertex %d: view weights are a copy, not an alias", u)
+			}
+		}
+	}
+	// Unweighted graphs yield nil from views too.
+	ug := MustFromEdges(4, [][2]VertexID{{0, 1}})
+	up, err := NewPartitioned(ug, []VertexID{0, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := up.View(0).OutWeights(0); w != nil {
+		t.Fatalf("unweighted view returned weights %v", w)
+	}
+}

@@ -154,83 +154,117 @@ func ReadSnapshot(r io.Reader) (*Graph, error) {
 	return decodeSnapshot(data)
 }
 
-func decodeSnapshot(data []byte) (*Graph, error) {
+// snapshotFrame is a validated snapshot's shape: the counts and the byte
+// region holding the arrays (offsets, then edges, then optional weights).
+// parseSnapshotFrame produces it after the header, size and checksum
+// checks have all passed; the structural CSR invariants are then checked
+// by validateSnapshotCSR once the arrays exist (copied by decodeSnapshot,
+// aliased in place by MmapSnapshot — both readers run the identical frame
+// and structural checks, so they accept and reject exactly the same
+// inputs).
+type snapshotFrame struct {
+	n        uint64
+	m        uint64
+	weighted bool
+	body     []byte // the array region: data[header : len-trailer]
+}
+
+// parseSnapshotFrame validates everything about a snapshot that does not
+// require materialized arrays: magic, version, flags, plausible counts,
+// exact file size and the trailing checksum.
+func parseSnapshotFrame(data []byte) (snapshotFrame, error) {
+	var fr snapshotFrame
 	if len(data) < snapshotHeaderLen+snapshotTrailerLen {
-		return nil, fmt.Errorf("graph: snapshot: truncated file (%d bytes)", len(data))
+		return fr, fmt.Errorf("graph: snapshot: truncated file (%d bytes)", len(data))
 	}
 	if !bytes.Equal(data[0:4], snapshotMagic[:]) {
-		return nil, fmt.Errorf("graph: snapshot: bad magic %q", data[0:4])
+		return fr, fmt.Errorf("graph: snapshot: bad magic %q", data[0:4])
 	}
 	if v := binary.LittleEndian.Uint16(data[4:6]); v != snapshotVersion {
-		return nil, fmt.Errorf("graph: snapshot: unsupported version %d (want %d)", v, snapshotVersion)
+		return fr, fmt.Errorf("graph: snapshot: unsupported version %d (want %d)", v, snapshotVersion)
 	}
 	flags := binary.LittleEndian.Uint16(data[6:8])
 	if flags&^snapshotFlagWeighted != 0 {
-		return nil, fmt.Errorf("graph: snapshot: unknown flags %#x", flags)
+		return fr, fmt.Errorf("graph: snapshot: unknown flags %#x", flags)
 	}
-	weighted := flags&snapshotFlagWeighted != 0
-	n := binary.LittleEndian.Uint64(data[8:16])
-	m := binary.LittleEndian.Uint64(data[16:24])
-	if n > maxVertexCount {
-		return nil, fmt.Errorf("graph: snapshot: vertex count %d exceeds %d", n, int64(maxVertexCount))
+	fr.weighted = flags&snapshotFlagWeighted != 0
+	fr.n = binary.LittleEndian.Uint64(data[8:16])
+	fr.m = binary.LittleEndian.Uint64(data[16:24])
+	if fr.n > maxVertexCount {
+		return fr, fmt.Errorf("graph: snapshot: vertex count %d exceeds %d", fr.n, int64(maxVertexCount))
 	}
-	if m > snapshotMaxEdges {
-		return nil, fmt.Errorf("graph: snapshot: implausible edge count %d", m)
+	if fr.m > snapshotMaxEdges {
+		return fr, fmt.Errorf("graph: snapshot: implausible edge count %d", fr.m)
 	}
-	want := uint64(snapshotHeaderLen) + (n+1)*8 + m*4 + uint64(snapshotTrailerLen)
-	if weighted {
-		want += m * 4
+	want := uint64(snapshotHeaderLen) + (fr.n+1)*8 + fr.m*4 + uint64(snapshotTrailerLen)
+	if fr.weighted {
+		want += fr.m * 4
 	}
 	if uint64(len(data)) != want {
-		return nil, fmt.Errorf("graph: snapshot: %d bytes, want %d for n=%d m=%d", len(data), want, n, m)
+		return fr, fmt.Errorf("graph: snapshot: %d bytes, want %d for n=%d m=%d", len(data), want, fr.n, fr.m)
 	}
 
 	payload := data[:len(data)-snapshotTrailerLen]
 	sum := binary.LittleEndian.Uint64(data[len(data)-snapshotTrailerLen:])
 	if got := xxhash64Sum(payload, 0); got != sum {
-		return nil, fmt.Errorf("graph: snapshot: checksum mismatch (file %#016x, computed %#016x)", sum, got)
+		return fr, fmt.Errorf("graph: snapshot: checksum mismatch (file %#016x, computed %#016x)", sum, got)
 	}
+	fr.body = payload[snapshotHeaderLen:]
+	return fr, nil
+}
 
-	body := payload[snapshotHeaderLen:]
+// validateSnapshotCSR checks the structural invariants a Graph promises:
+// zero-based monotone offsets ending at the edge count, every neighbor ID
+// in range, every adjacency bucket strictly ascending (a built Graph's
+// buckets are sorted and deduplicated).
+func validateSnapshotCSR(offsets []int64, edges []VertexID, n, m uint64) error {
+	if offsets[0] != 0 {
+		return fmt.Errorf("graph: snapshot: offsets[0] = %d, want 0", offsets[0])
+	}
+	for i := uint64(1); i <= n; i++ {
+		if offsets[i] < offsets[i-1] {
+			return fmt.Errorf("graph: snapshot: offsets not monotone at vertex %d", i)
+		}
+	}
+	if uint64(offsets[n]) != m {
+		return fmt.Errorf("graph: snapshot: offsets end at %d, want edge count %d", offsets[n], m)
+	}
+	for v := uint64(0); v < n; v++ {
+		prev := VertexID(-1)
+		for _, dst := range edges[offsets[v]:offsets[v+1]] {
+			if uint64(uint32(dst)) >= n || dst < 0 {
+				return fmt.Errorf("graph: snapshot: vertex %d has out-of-range neighbor %d (n=%d)", v, dst, n)
+			}
+			if dst <= prev {
+				return fmt.Errorf("graph: snapshot: vertex %d adjacency not strictly sorted", v)
+			}
+			prev = dst
+		}
+	}
+	return nil
+}
+
+func decodeSnapshot(data []byte) (*Graph, error) {
+	fr, err := parseSnapshotFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	n, m, body := fr.n, fr.m, fr.body
 	offsets := make([]int64, n+1)
 	for i := range offsets {
 		offsets[i] = int64(binary.LittleEndian.Uint64(body[i*8:]))
 	}
 	body = body[(n+1)*8:]
-	if offsets[0] != 0 {
-		return nil, fmt.Errorf("graph: snapshot: offsets[0] = %d, want 0", offsets[0])
-	}
-	for i := uint64(1); i <= n; i++ {
-		if offsets[i] < offsets[i-1] {
-			return nil, fmt.Errorf("graph: snapshot: offsets not monotone at vertex %d", i)
-		}
-	}
-	if uint64(offsets[n]) != m {
-		return nil, fmt.Errorf("graph: snapshot: offsets end at %d, want edge count %d", offsets[n], m)
-	}
-
 	edges := make([]VertexID, m)
 	for i := range edges {
 		edges[i] = VertexID(binary.LittleEndian.Uint32(body[i*4:]))
 	}
 	body = body[m*4:]
-	// Adjacency invariants: every ID in range, every bucket strictly
-	// ascending (a built Graph's buckets are sorted and deduplicated).
-	for v := uint64(0); v < n; v++ {
-		prev := VertexID(-1)
-		for _, dst := range edges[offsets[v]:offsets[v+1]] {
-			if uint64(uint32(dst)) >= n || dst < 0 {
-				return nil, fmt.Errorf("graph: snapshot: vertex %d has out-of-range neighbor %d (n=%d)", v, dst, n)
-			}
-			if dst <= prev {
-				return nil, fmt.Errorf("graph: snapshot: vertex %d adjacency not strictly sorted", v)
-			}
-			prev = dst
-		}
+	if err := validateSnapshotCSR(offsets, edges, n, m); err != nil {
+		return nil, err
 	}
-
 	var weights []float32
-	if weighted {
+	if fr.weighted {
 		weights = make([]float32, m)
 		for i := range weights {
 			weights[i] = math.Float32frombits(binary.LittleEndian.Uint32(body[i*4:]))

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 	"testing"
 
@@ -130,6 +131,64 @@ func TestSamplingDeterminismPins(t *testing.T) {
 			t.Errorf("%s: fingerprint %s, pinned %s — sample output changed bit-wise", k, got[k], want)
 		}
 	}
+}
+
+// TestSamplingPinsOnPartitionedAndMmap holds the alternate graph
+// representations against the SAME pinned fingerprints the flat heap
+// graph satisfies: a partitioned wrapper (SamplePartitioned) and an
+// mmap'd snapshot of the pin graph. Representation — partition views,
+// mapped pages — must be invisible to the sampler bit for bit.
+func TestSamplingPinsOnPartitionedAndMmap(t *testing.T) {
+	if os.Getenv("PREDICT_CAPTURE_PINS") != "" {
+		t.Skip("capture runs on the flat graph only")
+	}
+	g := gen.BarabasiAlbert(5000, 6, 0.4, 101)
+
+	snapPath := filepath.Join(t.TempDir(), "pin.snap")
+	if err := graph.WriteSnapshotFile(snapPath, g); err != nil {
+		t.Fatal(err)
+	}
+	mapped, mappedLive, err := graph.OpenSnapshot(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("mmap path live: %v (false means copy-in fallback, still pinned)", mappedLive)
+
+	parts := []graph.VertexID{0, 1100, 2500, 2500, 5000} // uneven + one empty
+	draw := func(key string, do func(m Method, o Options) (*Result, error)) {
+		for _, m := range []Method{BiasedRandomJump, RandomJump, MetropolisHastings, UniformVertex} {
+			for _, seed := range []uint64{1, 42, 1234567} {
+				for _, ratio := range []float64{0.05, 0.15} {
+					pin := fmt.Sprintf("%s/s%d/r%g", m, seed, ratio)
+					r, err := do(m, Options{Ratio: ratio, Seed: seed})
+					if err != nil {
+						t.Fatalf("%s via %s: %v", pin, key, err)
+					}
+					if got := sampleFingerprint(r); got != samplingPins[pin] {
+						t.Errorf("%s via %s: fingerprint %s, pinned %s — representation leaked into sampling",
+							pin, key, got, samplingPins[pin])
+					}
+				}
+			}
+		}
+	}
+	p, err := graph.NewPartitioned(g, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw("partitioned", func(m Method, o Options) (*Result, error) {
+		return SamplePartitioned(p, m, o)
+	})
+	draw("mmap", func(m Method, o Options) (*Result, error) {
+		return Sample(mapped, m, o)
+	})
+	mp, err := graph.NewPartitioned(mapped, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw("mmap+partitioned", func(m Method, o Options) (*Result, error) {
+		return SamplePartitioned(mp, m, o)
+	})
 }
 
 // TestSamplingRunToRunStability draws the same sample twice in one process

@@ -173,11 +173,21 @@ func (s *Service) Datasets() ([]DatasetInfo, error) {
 // generated one. key is the datasetKey of the resolved file.
 func (s *Service) loadDataset(ctx context.Context, name, path, key string) (*graph.Graph, bool, error) {
 	return s.graphs.get(ctx, key, func() (*graph.Graph, error) {
-		// Parse on the service's shared fit pool: N concurrent first
-		// touches of N distinct datasets stay within one parallelism
-		// budget instead of stampeding N*GOMAXPROCS parser goroutines —
-		// the same discipline cold fits follow.
-		g, err := graph.LoadFile(path, graph.LoadOptions{Pool: s.fitPool})
+		var g *graph.Graph
+		var err error
+		if s.cfg.MmapDatasets && filepath.Ext(path) == snapshotExt {
+			// Zero-copy generation: the graph aliases the mmap'd file, the
+			// cache holds only slice headers, and eviction lets the
+			// finalizer unmap. Falls back to copy-in where mmap is
+			// unavailable (OpenSnapshot handles ErrMmapUnsupported).
+			g, _, err = graph.OpenSnapshot(path)
+		} else {
+			// Parse on the service's shared fit pool: N concurrent first
+			// touches of N distinct datasets stay within one parallelism
+			// budget instead of stampeding N*GOMAXPROCS parser goroutines —
+			// the same discipline cold fits follow.
+			g, err = graph.LoadFile(path, graph.LoadOptions{Pool: s.fitPool})
+		}
 		if err != nil {
 			// The request was valid — the name resolved; a file that then
 			// fails to load (corrupt snapshot, I/O error, permissions) is a

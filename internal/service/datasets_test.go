@@ -397,3 +397,82 @@ func TestLoadDatasetCorruptFile(t *testing.T) {
 		t.Errorf("truncated snapshot load = %d (%v), want 500 (server-side fault)", code, body)
 	}
 }
+
+// TestMmapDatasetsMode serves the registry with MmapDatasets on: snapshot
+// loads come back identical to the copy-in path, edge lists still parse,
+// a corrupt snapshot still answers 500, and the full /predict path runs
+// over the mapped graph.
+func TestMmapDatasetsMode(t *testing.T) {
+	dir := t.TempDir()
+	g := testWikiGraph(t)
+	if err := graph.WriteSnapshotFile(filepath.Join(dir, "social.snap"), g); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "web.txt"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(dir, "cut.snap")
+	if err := graph.WriteSnapshotFile(bad, g); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(bad, raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	svc := New(Config{DatasetDir: dir, MmapDatasets: true})
+	server := httptest.NewServer(svc.Handler())
+	defer server.Close()
+
+	for _, name := range []string{"social", "web"} {
+		var got struct {
+			Dataset DatasetInfo `json:"dataset"`
+		}
+		if code := postJSONInto(t, server.URL+"/datasets/"+name+"/load", nil, &got); code != http.StatusOK {
+			t.Fatalf("load %s with mmap mode = %d, want 200", name, code)
+		}
+		if got.Dataset.Vertices != g.NumVertices() || got.Dataset.Edges != g.NumEdges() {
+			t.Errorf("%s: loaded %d/%d, want %d/%d",
+				name, got.Dataset.Vertices, got.Dataset.Edges, g.NumVertices(), g.NumEdges())
+		}
+	}
+	// The cached graph must be byte-equivalent to the source.
+	loaded, _, err := svc.loadDataset(context.Background(), "social",
+		filepath.Join(dir, "social.snap"), "probe-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices(); v++ {
+		a, b := g.OutNeighbors(graph.VertexID(v)), loaded.OutNeighbors(graph.VertexID(v))
+		if len(a) != len(b) {
+			t.Fatalf("vertex %d: mapped degree %d, want %d", v, len(b), len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("vertex %d: adjacency differs on mapped dataset", v)
+			}
+		}
+	}
+
+	var body map[string]string
+	if code := postJSONInto(t, server.URL+"/datasets/cut/load", nil, &body); code != http.StatusInternalServerError {
+		t.Errorf("truncated snapshot with mmap mode = %d (%v), want 500", code, body)
+	}
+
+	var resp PredictResponse
+	req := PredictRequest{Dataset: "social", Algorithm: "PR", Ratio: 0.3}
+	if code := postJSONInto(t, server.URL+"/predict", req, &resp); code != http.StatusOK {
+		t.Fatalf("predict on mmap'd dataset = %d, want 200", code)
+	}
+	if resp.Iterations <= 0 || resp.SuperstepSeconds <= 0 {
+		t.Errorf("predict on mmap'd dataset returned iterations=%d superstep=%v",
+			resp.Iterations, resp.SuperstepSeconds)
+	}
+}

@@ -117,6 +117,15 @@ type Config struct {
 	// become named datasets a request can address alongside the generator
 	// prefixes. See datasets.go.
 	DatasetDir string
+	// MmapDatasets serves .snap registry datasets from mmap'd pages
+	// (graph.MmapSnapshot) instead of heap copies: loads are O(1), the
+	// kernel page cache shares one physical copy across processes, and a
+	// dataset larger than RAM pages in on demand. On platforms without
+	// mmap the load silently falls back to the copy-in reader. Mapped
+	// generations are never explicitly unmapped — the LRU eviction drops
+	// the Graph and the mapping's finalizer reclaims the address space,
+	// per the lifetime rules in graph/mmap.go.
+	MmapDatasets bool
 }
 
 func (c Config) withDefaults() Config {
