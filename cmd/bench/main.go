@@ -32,6 +32,13 @@
 //	service_sustained_rps warm-hit latency percentiles at a fixed offered
 //	                      load, uncontended vs under saturating cold
 //	                      traffic, plus the shed rate — the p99-ratio gate
+//	service_faults        the robustness tax, measured under deterministic
+//	                      fault injection: the 503 round-trip cost of a
+//	                      breaker-open fast-fail, and a flaky dataset
+//	                      load's retry-path overhead vs a clean load.
+//	                      Injection is restored to disabled before the
+//	                      artifact is written; every gated scenario above
+//	                      runs injection-free
 //
 // Every scenario also records allocs_per_op and bytes_per_op from
 // runtime.MemStats deltas, so the perf trajectory tracks allocation
@@ -86,10 +93,12 @@ import (
 	"predict/internal/bsp"
 	"predict/internal/cluster"
 	"predict/internal/core"
+	"predict/internal/faultinject"
 	"predict/internal/features"
 	"predict/internal/gen"
 	"predict/internal/graph"
 	"predict/internal/parallel"
+	"predict/internal/retry"
 	"predict/internal/sampling"
 	"predict/internal/service"
 )
@@ -127,6 +136,11 @@ func printSummary(path string) error {
 			fmt.Printf("| p99 ratio | %.2fx |\n", sc.P99Ratio)
 			if sc.ShedRate != nil {
 				fmt.Printf("| cold traffic shed | %d of %d (%.0f%%) |\n", sc.ColdShed, sc.ColdOffered, *sc.ShedRate*100)
+			}
+		case "service_faults":
+			fmt.Printf("| breaker-open fast-fail | %.0f µs/req |\n", sc.NsPerOp/1e3)
+			if sc.RetryBaselineNsPerOp > 0 {
+				fmt.Printf("| flaky dataset load (2 transient faults) | %.2fx clean load |\n", sc.RetryOverheadRatio)
 			}
 		}
 	}
@@ -176,6 +190,15 @@ type Scenario struct {
 	ColdOffered          int      `json:"cold_offered,omitempty"`
 	ColdShed             int      `json:"cold_shed,omitempty"`
 	ShedRate             *float64 `json:"shed_rate,omitempty"`
+	// The service_faults fields. NsPerOp on that scenario is the 503
+	// round trip against an open circuit breaker (the fast-fail a client
+	// pays while a model key is known-broken). These record the
+	// transient-failure retry tax: a registry dataset load that survives
+	// two injected transient read failures (so two jittered backoff
+	// sleeps) vs the identical load with no faults, and their ratio.
+	RetryLoadNsPerOp     float64 `json:"retry_load_ns_per_op,omitempty"`
+	RetryBaselineNsPerOp float64 `json:"retry_baseline_ns_per_op,omitempty"`
+	RetryOverheadRatio   float64 `json:"retry_overhead_ratio,omitempty"`
 }
 
 // Results is the BENCH_results.json schema.
@@ -290,6 +313,12 @@ func run(out, dataset string, flagScale float64, runs int, g8 gates) error {
 	if err != nil {
 		return err
 	}
+	// The gated scenarios define the injection-free cost structure; a
+	// leaked injector (a bug in service_faults' restore, or a stray
+	// Enable in a linked package) would silently tax every number below.
+	if faultinject.Enabled() {
+		return fmt.Errorf("fault injection is enabled; the gated scenarios measure the injection-free build")
+	}
 	fmt.Printf("bench: dataset=%s scale=%g gomaxprocs=%d runs=%d\n",
 		dataset, scale, runtime.GOMAXPROCS(0), runs)
 	g := ds.Generate(scale, 1)
@@ -372,6 +401,18 @@ func run(out, dataset string, flagScale float64, runs int, g8 gates) error {
 		return fmt.Errorf("service_sustained_rps: %w", err)
 	}
 	res.add(*rpsScenario)
+
+	// service_faults runs last: it is the only scenario that enables the
+	// fault injector, and everything above must measure the
+	// injection-free build the CI gates are defined on.
+	faultsScenario, err := serviceFaults(g, dataset, scale)
+	if err != nil {
+		return fmt.Errorf("service_faults: %w", err)
+	}
+	if faultinject.Enabled() {
+		return fmt.Errorf("service_faults left fault injection enabled; refusing to write results")
+	}
+	res.add(*faultsScenario)
 
 	if err := writeResults(out, res); err != nil {
 		return err
@@ -1284,6 +1325,167 @@ func serviceSustainedRPS(dataset string, scale float64) (*Scenario, error) {
 		ColdOffered:          int(coldOffered.Load()),
 		ColdShed:             int(coldShed.Load()),
 		ShedRate:             &shedRate,
+	}, nil
+}
+
+// serviceFaults measures the robustness tax under deterministic fault
+// injection, in two halves:
+//
+//  1. Breaker-open fast-fail: every fit is made to fail via an injected
+//     PointServiceFit error, the per-key circuit breaker trips, and the
+//     scenario's NsPerOp is the 503 round trip against the open breaker —
+//     the latency a client pays while a model key is known-broken, which
+//     must stay a cheap cache-miss-and-refuse, never a fit.
+//  2. Retry-path overhead: registry snapshot loads where two of every
+//     three read attempts fail with an injected transient error, so each
+//     load succeeds on its third attempt after two jittered backoff
+//     sleeps. RetryLoadNsPerOp vs RetryBaselineNsPerOp (the identical
+//     load with no faults) is the tax, RetryOverheadRatio their ratio.
+//
+// The injector is restored to disabled before returning; run() re-checks
+// that, so the gated scenarios always measure the injection-free build.
+func serviceFaults(g *graph.Graph, dataset string, scale float64) (*Scenario, error) {
+	// --- breaker-open fast-fail ---
+	restore := faultinject.Enable(faultinject.NewInjector(1, faultinject.Rule{
+		Point: faultinject.PointServiceFit,
+		Err:   errors.New("bench: injected fit failure"),
+	}))
+	defer restore()
+
+	cfg := servingConfig(4)
+	cfg.FitBreakerThreshold = 2
+	cfg.FitBreakerCooldown = time.Minute // stays open for the whole measurement
+	svc := service.New(cfg)
+	server := httptest.NewServer(svc.Handler())
+	defer server.Close()
+
+	payloads, err := encodePayloads(warmKeyRequests(dataset, scale)[:1])
+	if err != nil {
+		return nil, err
+	}
+	payload := payloads[0]
+	client := &benchClient{}
+	defer client.close()
+
+	// Trip the breaker: threshold consecutive fit failures surface as 500s.
+	for i := 0; i < cfg.FitBreakerThreshold; i++ {
+		status, _, _, err := client.post(server.URL, payload)
+		if err != nil {
+			return nil, err
+		}
+		if status != http.StatusInternalServerError {
+			return nil, fmt.Errorf("tripping request %d: status %d, want 500", i, status)
+		}
+	}
+
+	const fastFails = 2000
+	totalNs, allocs, bytes_, err := measureOp(1, func() error {
+		for i := 0; i < fastFails; i++ {
+			status, _, retryAfter, err := client.post(server.URL, payload)
+			if err != nil {
+				return err
+			}
+			if status != http.StatusServiceUnavailable {
+				return fmt.Errorf("fast-fail request %d: status %d, want 503", i, status)
+			}
+			if retryAfter == "" {
+				return fmt.Errorf("fast-fail request %d: missing Retry-After", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if st := svc.Stats(); st.BreakerTrips < 1 || st.BreakerFastFails < fastFails {
+		return nil, fmt.Errorf("breaker stats disagree with the load: trips=%d fast_fails=%d (want >=1, >=%d)",
+			st.BreakerTrips, st.BreakerFastFails, fastFails)
+	}
+
+	// --- retry-path overhead on flaky dataset loads ---
+	dir, err := os.MkdirTemp("", "bench-faults-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	if err := graph.WriteSnapshotFile(filepath.Join(dir, "clean0.snap"), g); err != nil {
+		return nil, err
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, "clean0.snap"))
+	if err != nil {
+		return nil, err
+	}
+	const nLoads = 8
+	for i := 0; i < nLoads; i++ {
+		for _, prefix := range []string{"clean", "flaky"} {
+			if prefix == "clean" && i == 0 {
+				continue
+			}
+			if err := os.WriteFile(filepath.Join(dir, fmt.Sprintf("%s%d.snap", prefix, i)), blob, 0o644); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	lsvc := service.New(service.Config{
+		DatasetDir:     dir,
+		MaxGraphs:      2 * nLoads, // every load below is a distinct cold key
+		RetryAttempts:  3,
+		RetryBaseDelay: 200 * time.Microsecond,
+		RetryMaxDelay:  2 * time.Millisecond,
+	})
+	lserver := httptest.NewServer(lsvc.Handler())
+	defer lserver.Close()
+	loadAll := func(prefix string) (nsPerLoad float64, err error) {
+		start := time.Now()
+		for i := 0; i < nLoads; i++ {
+			resp, err := http.Post(fmt.Sprintf("%s/datasets/%s%d/load", lserver.URL, prefix, i), "application/json", http.NoBody)
+			if err != nil {
+				return 0, err
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return 0, fmt.Errorf("loading %s%d: status %d", prefix, i, resp.StatusCode)
+			}
+		}
+		return float64(time.Since(start).Nanoseconds()) / nLoads, nil
+	}
+
+	// Part 1's injector (fit failures only) is still enabled but never
+	// fires on a dataset load, so this is the clean baseline.
+	baselineNs, err := loadAll("clean")
+	if err != nil {
+		return nil, err
+	}
+	restoreFlaky := faultinject.Enable(faultinject.NewInjector(1, faultinject.Rule{
+		Point:  faultinject.PointGraphLoadFile,
+		From:   1,
+		Count:  2,
+		Period: 3, // attempts 1,2 fail, 3 succeeds — every load costs two retries
+		Err:    retry.Transient(errors.New("bench: injected transient read failure")),
+	}))
+	flakyNs, err := loadAll("flaky")
+	restoreFlaky()
+	if err != nil {
+		return nil, err
+	}
+	if got, want := lsvc.Stats().IORetries, int64(2*nLoads); got != want {
+		return nil, fmt.Errorf("io_retries = %d after the flaky loads, want %d", got, want)
+	}
+
+	n := float64(fastFails)
+	return &Scenario{
+		Name:                 "service_faults",
+		Runs:                 1,
+		NsPerOp:              totalNs / n,
+		OpsPerS:              n / (totalNs / 1e9),
+		AllocsPerOp:          allocs / n,
+		BytesPerOp:           bytes_ / n,
+		Requests:             fastFails,
+		RetryLoadNsPerOp:     flakyNs,
+		RetryBaselineNsPerOp: baselineNs,
+		RetryOverheadRatio:   flakyNs / baselineNs,
 	}, nil
 }
 

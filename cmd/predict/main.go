@@ -53,7 +53,7 @@ func main() {
 	// Prior runs of the same algorithm, if archived, join the training set.
 	var trainHistory []costmodel.TrainingRun
 	if *histFile != "" {
-		if records, err := history.LoadFile(*histFile); err == nil {
+		if records, torn, err := history.LoadFile(*histFile); err == nil {
 			runs, skipped, err := history.TrainingRunsFor(records, alg.Name())
 			if err != nil {
 				fail(err)
@@ -61,6 +61,9 @@ func main() {
 			trainHistory = runs
 			fmt.Printf("history: %d matching run(s) loaded (%d other-algorithm records skipped)\n",
 				len(runs), skipped)
+			if torn != nil {
+				fmt.Printf("history: recovered %s (likely an interrupted append; complete records kept)\n", torn)
+			}
 		} else if !os.IsNotExist(err) {
 			fail(err)
 		}

@@ -13,6 +13,8 @@
 //	predictd -fit-parallelism 8 -fit-timeout 2m     # cold-path budget
 //	predictd -fit-queue-depth 8 -max-inflight 256   # admission control (shed past the bound)
 //	predictd -batch-window 10ms -retry-after 2s     # coalescing + shed guidance
+//	predictd -fit-breaker-threshold 5 -fit-breaker-cooldown 5s  # per-model circuit breaker
+//	predictd -retry-attempts 3 -retry-base-delay 50ms -retry-max-delay 1s  # transient dataset I/O
 //	predictd -pprof-addr 127.0.0.1:6060             # live profiling (off by default)
 //
 // API (JSON):
@@ -23,7 +25,8 @@
 //	POST /datasets/{name}/load  pre-load a registry dataset
 //	GET  /models
 //	GET  /stats
-//	GET  /healthz
+//	GET  /healthz               liveness (always 200; honest status field)
+//	GET  /readyz                readiness (503 while dataset dir or history file is broken)
 package main
 
 import (
@@ -62,6 +65,11 @@ func main() {
 		batchWin  = flag.Duration("batch-window", 0, "coalesce identical predictions arriving within this window (0 = only overlapping requests)")
 		retry     = flag.Duration("retry-after", 0, "Retry-After guidance on shed responses (0 = default 1s)")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty disables profiling")
+		brkThresh = flag.Int("fit-breaker-threshold", 0, "consecutive fit failures before a model key's circuit breaker opens (0 = default 5, <0 = disabled)")
+		brkCool   = flag.Duration("fit-breaker-cooldown", 0, "how long an open breaker waits before a half-open probe (0 = default 5s)")
+		retryN    = flag.Int("retry-attempts", 0, "dataset I/O attempts for transient failures, first try included (0 = default 3, <0 = no retries)")
+		retryBase = flag.Duration("retry-base-delay", 0, "first backoff between dataset I/O retries, jittered exponential after (0 = default 50ms)")
+		retryMax  = flag.Duration("retry-max-delay", 0, "backoff ceiling between dataset I/O retries (0 = default 1s)")
 	)
 	flag.Parse()
 
@@ -93,6 +101,15 @@ func main() {
 		Cluster:        bsp.Config{Workers: *workers, Seed: *seed, Oracle: &oracle},
 		DatasetDir:     *dataDir,
 		MmapDatasets:   *mmapData,
+
+		FitBreakerThreshold: *brkThresh,
+		FitBreakerCooldown:  *brkCool,
+		RetryAttempts:       *retryN,
+		RetryBaseDelay:      *retryBase,
+		RetryMaxDelay:       *retryMax,
+		// The readiness probe (GET /readyz) watches the history file's
+		// appendability when one is configured.
+		HistoryPath: *histFile,
 	})
 
 	// persistPath is where the cache snapshot lands at shutdown. If the
@@ -113,6 +130,13 @@ func main() {
 				warmed, skipped, persistPath)
 		case warmed > 0:
 			log.Printf("predictd: warmed %d model(s) from %s", warmed, *histFile)
+		}
+		if svc.Stats().TornRecovered > 0 {
+			// A crash tore the file's last record mid-append; the complete
+			// records warmed fine and the shutdown persist rewrites the
+			// file whole, so no divert is needed — but the operator should
+			// know the crash happened.
+			log.Printf("predictd: recovered a torn trailing record in %s (interrupted append); complete records kept", *histFile)
 		}
 	}
 

@@ -1,0 +1,225 @@
+// Package faultinject is the deterministic fault-injection harness the
+// chaos suite and the robustness benchmarks drive the system with.
+//
+// Cloud runtimes are dominated by infrastructure noise — slow disks,
+// transient I/O errors, failed tasks — yet code paths that "cannot fail"
+// in tests fail constantly in production. This package lets a test (or
+// cmd/bench) declare a seeded, schedule-based plan of failures and replay
+// it bit-identically: every instrumented code path calls Fire(point) at
+// its entry, and the active Injector decides — by hit count, by period,
+// or by seeded coin flip — whether that particular hit observes an
+// injected error, an injected latency, or a partial (torn) write.
+//
+// The disabled path is the contract that lets the injection points live
+// on production code paths at all: when no Injector is enabled (the
+// default, and the only state outside tests), Fire is one atomic pointer
+// load and a nil return — no locks, no allocations, no behavior change.
+// The CI alloc gates and the pinned golden fingerprints run against
+// exactly this disabled build, proving the instrumentation is free.
+//
+// Determinism: an Injector's schedule depends only on its seed, its rules
+// and the order of Fire calls. Single-threaded replays are bit-identical;
+// concurrent replays are per-point deterministic in aggregate (the hit
+// counter is taken under the injector lock). Seeds come from the chaos
+// suite's PREDICT_CHAOS_SEED, so a failing schedule is reproducible from
+// the CI log alone.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// The instrumented injection points. Each names the production code path
+// that calls Fire with it; injecting anywhere else is a no-op.
+const (
+	// PointGraphLoadFile fires at graph.LoadFile's entry (the registry's
+	// text/snapshot load path).
+	PointGraphLoadFile = "graph.load_file"
+	// PointGraphReadSnapshot fires at graph.ReadSnapshot/ReadSnapshotFile.
+	PointGraphReadSnapshot = "graph.read_snapshot"
+	// PointGraphOpenSnapshot fires at graph.OpenSnapshot (the mmap-with-
+	// fallback policy layer).
+	PointGraphOpenSnapshot = "graph.open_snapshot"
+	// PointHistoryAppend fires inside history append; PartialBytes rules
+	// produce a real torn record on disk (a simulated crash mid-append).
+	PointHistoryAppend = "history.append"
+	// PointHistoryLoad fires at history.LoadFile's entry.
+	PointHistoryLoad = "history.load"
+	// PointServiceFit fires at the service's cold-fit path, before the
+	// sample pipelines run — the hook the breaker chaos tests trip.
+	PointServiceFit = "service.fit"
+)
+
+// Fault is what an instrumented call site observes when a rule fires.
+// Sites interpret the fields they can honor: every site honors Delay and
+// Err; only write sites honor PartialBytes.
+type Fault struct {
+	// Err, when non-nil, is returned by the instrumented operation after
+	// Delay (and, for write points, after the partial write).
+	Err error
+	// Delay is slept before the operation proceeds or fails.
+	Delay time.Duration
+	// PartialBytes, when > 0 at a write point, persists only that many
+	// bytes of the payload before failing — a torn write.
+	PartialBytes int
+}
+
+// Sleep applies the fault's injected latency. Call sites without a
+// context use it directly; it is a no-op for pure error faults.
+func (f *Fault) Sleep() {
+	if f != nil && f.Delay > 0 {
+		time.Sleep(f.Delay)
+	}
+}
+
+// Rule is one line of an injection schedule: when Point is hit, fire on
+// the selected hits with the given fault.
+type Rule struct {
+	// Point selects the injection point this rule applies to.
+	Point string
+	// From/Count select a 1-based window of hits: fire on hits
+	// [From, From+Count). From 0 means 1; Count 0 means unbounded.
+	From  int
+	Count int
+	// Period, when > 0, applies the window cyclically: the rule fires on
+	// hit h when ((h-1) mod Period)+1 falls inside [From, From+Count).
+	// "Fail 2 of every 3 attempts" is {From: 1, Count: 2, Period: 3}.
+	Period int
+	// Prob, when > 0, additionally gates each in-window hit on a seeded
+	// coin flip with this probability — the same seed replays the same
+	// flips in the same Fire order.
+	Prob float64
+	// The fault to inject when the rule fires.
+	Err          error
+	Delay        time.Duration
+	PartialBytes int
+}
+
+// matches reports whether the rule fires on the point's hit number h
+// (1-based). The caller holds the injector lock and supplies the flip.
+func (r *Rule) matches(h int, flip func() float64) bool {
+	if r.Period > 0 {
+		h = (h-1)%r.Period + 1
+	}
+	from := r.From
+	if from <= 0 {
+		from = 1
+	}
+	if h < from {
+		return false
+	}
+	if r.Count > 0 && h >= from+r.Count {
+		return false
+	}
+	if r.Prob > 0 && flip() >= r.Prob {
+		return false
+	}
+	return true
+}
+
+// Injector holds one seeded fault schedule plus its replay state (per-
+// point hit and fire counters). Safe for concurrent use; the disabled
+// global path never touches it.
+type Injector struct {
+	mu    sync.Mutex
+	rng   uint64
+	rules []Rule
+	hits  map[string]int
+	fired map[string]int
+}
+
+// NewInjector returns an injector replaying the given rules under seed.
+func NewInjector(seed uint64, rules ...Rule) *Injector {
+	return &Injector{
+		rng:   seed,
+		rules: rules,
+		hits:  make(map[string]int),
+		fired: make(map[string]int),
+	}
+}
+
+// splitmix64 is the step function behind the seeded coin flips — tiny,
+// deterministic and plenty for schedule decorrelation.
+func (in *Injector) next() uint64 {
+	in.rng += 0x9e3779b97f4a7c15
+	z := in.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (in *Injector) flip() float64 {
+	return float64(in.next()>>11) / float64(1<<53)
+}
+
+// fire records one hit at point and returns the fault of the first
+// matching rule, or nil.
+func (in *Injector) fire(point string) *Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.hits[point]++
+	h := in.hits[point]
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Point != point || !r.matches(h, in.flip) {
+			continue
+		}
+		in.fired[point]++
+		return &Fault{Err: r.Err, Delay: r.Delay, PartialBytes: r.PartialBytes}
+	}
+	return nil
+}
+
+// Hits reports how many times point has been reached (fired or not).
+func (in *Injector) Hits(point string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[point]
+}
+
+// Fired reports how many faults have been injected at point.
+func (in *Injector) Fired(point string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.fired[point]
+}
+
+// String summarizes the injector's replay state for test failure output.
+func (in *Injector) String() string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return fmt.Sprintf("faultinject: %d rules, hits=%v fired=%v", len(in.rules), in.hits, in.fired)
+}
+
+// active is the process-wide injector hook. Nil (the default and the only
+// production state) disables injection entirely: Fire is then one atomic
+// load. Tests enable an injector for a scope and restore on exit.
+var active atomic.Pointer[Injector]
+
+// Enable installs in as the process-wide injector and returns a restore
+// function that reinstates the previous one. Tests must defer the
+// restore; overlapping enables in parallel tests are the caller's
+// responsibility (the chaos suite runs its injected tests serially).
+func Enable(in *Injector) (restore func()) {
+	prev := active.Swap(in)
+	return func() { active.Store(prev) }
+}
+
+// Enabled reports whether any injector is active (used by bench to refuse
+// to record numbers from an injected build by accident).
+func Enabled() bool { return active.Load() != nil }
+
+// Fire is the instrumented call sites' entry: it returns the fault to
+// apply at point, or nil. With no injector enabled this is a single
+// atomic load — zero allocations, zero behavior change — which is what
+// lets it live on production hot paths under the CI alloc gates.
+func Fire(point string) *Fault {
+	in := active.Load()
+	if in == nil {
+		return nil
+	}
+	return in.fire(point)
+}

@@ -23,6 +23,7 @@ import (
 	"unicode/utf8"
 	"unsafe"
 
+	"predict/internal/faultinject"
 	"predict/internal/parallel"
 )
 
@@ -58,6 +59,12 @@ func LoadEdgeList(r io.Reader, opts LoadOptions) (*Graph, error) {
 // snapshots (see WriteSnapshot) by their magic number, anything else as
 // the plain-text edge-list format (parsed in parallel).
 func LoadFile(path string, opts LoadOptions) (*Graph, error) {
+	if fault := faultinject.Fire(faultinject.PointGraphLoadFile); fault != nil {
+		fault.Sleep()
+		if fault.Err != nil {
+			return nil, fault.Err
+		}
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err

@@ -38,6 +38,8 @@ import (
 	"runtime"
 	"sync/atomic"
 	"unsafe"
+
+	"predict/internal/faultinject"
 )
 
 // ErrMmapUnsupported reports that zero-copy snapshot mapping is not
@@ -175,6 +177,12 @@ func aliasSnapshot(data []byte, region *mmapRegion) (*Graph, error) {
 // reports whether the graph aliases a mapping (callers that got mapped =
 // false own an ordinary heap graph with no Close obligations).
 func OpenSnapshot(path string) (g *Graph, mapped bool, err error) {
+	if fault := faultinject.Fire(faultinject.PointGraphOpenSnapshot); fault != nil {
+		fault.Sleep()
+		if fault.Err != nil {
+			return nil, false, fault.Err
+		}
+	}
 	mg, err := MmapSnapshot(path)
 	if err == nil {
 		return mg.Graph(), true, nil

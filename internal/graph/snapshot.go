@@ -34,6 +34,8 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+
+	"predict/internal/faultinject"
 )
 
 var snapshotMagic = [4]byte{'P', 'C', 'S', 'R'}
@@ -147,6 +149,12 @@ func writeFloat32s(w io.Writer, buf []byte, vals []float32) error {
 // ReadSnapshot reads a graph written by WriteSnapshot, verifying the
 // checksum and every CSR structural invariant before returning.
 func ReadSnapshot(r io.Reader) (*Graph, error) {
+	if fault := faultinject.Fire(faultinject.PointGraphReadSnapshot); fault != nil {
+		fault.Sleep()
+		if fault.Err != nil {
+			return nil, fault.Err
+		}
+	}
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
@@ -301,11 +309,27 @@ func WriteSnapshotFile(path string, g *Graph) error {
 	if err := os.Chmod(tmp.Name(), 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	// Best effort: sync the directory so the rename itself survives a
+	// crash. Some filesystems reject fsync on directories; the data blocks
+	// are already durable, so that is not worth failing the write over.
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		_ = dir.Sync()
+		dir.Close()
+	}
+	return nil
 }
 
 // ReadSnapshotFile reads a snapshot from path.
 func ReadSnapshotFile(path string) (*Graph, error) {
+	if fault := faultinject.Fire(faultinject.PointGraphReadSnapshot); fault != nil {
+		fault.Sleep()
+		if fault.Err != nil {
+			return nil, fault.Err
+		}
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err

@@ -12,6 +12,7 @@ package history
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -19,6 +20,7 @@ import (
 
 	"predict/internal/algorithms"
 	"predict/internal/costmodel"
+	"predict/internal/faultinject"
 	"predict/internal/features"
 )
 
@@ -174,23 +176,130 @@ func Read(r io.Reader) ([]Record, error) {
 }
 
 // AppendFile appends records to a JSON-lines file, creating it if needed.
+// The close error is propagated: on many filesystems a full disk only
+// surfaces at close, and an append that reports success while dropping the
+// record would silently starve future warm-starts.
 func AppendFile(path string, records ...Record) error {
+	return appendFile(path, false, records...)
+}
+
+// AppendFileSync is AppendFile with an fsync before close — the record is
+// durable against power loss when it returns. The extra fsync costs one
+// disk flush per append; services persisting models they cannot cheaply
+// refit opt in, profiling runs that can be repeated stay with AppendFile.
+func AppendFileSync(path string, records ...Record) error {
+	return appendFile(path, true, records...)
+}
+
+func appendFile(path string, durable bool, records ...Record) error {
+	// Encode before opening the file: an encoding error must not leave a
+	// half-written record behind, and a single Write keeps the torn-write
+	// window (and the injectable partial-write surface) to one syscall.
+	var buf bytes.Buffer
+	if err := Write(&buf, records...); err != nil {
+		return err
+	}
+	payload := buf.Bytes()
+	var injected error
+	if fault := faultinject.Fire(faultinject.PointHistoryAppend); fault != nil {
+		fault.Sleep()
+		if fault.Err != nil {
+			if fault.PartialBytes > 0 && fault.PartialBytes < len(payload) {
+				// Simulated crash mid-append: persist a prefix of the
+				// payload for real, then report the failure.
+				payload = payload[:fault.PartialBytes]
+				injected = fault.Err
+			} else {
+				return fault.Err
+			}
+		}
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return Write(f, records...)
+	_, werr := f.Write(payload)
+	var serr error
+	if durable && werr == nil {
+		serr = f.Sync()
+	}
+	cerr := f.Close()
+	switch {
+	case werr != nil:
+		return fmt.Errorf("history: appending to %s: %w", path, werr)
+	case serr != nil:
+		return fmt.Errorf("history: syncing %s: %w", path, serr)
+	case cerr != nil:
+		return fmt.Errorf("history: closing %s: %w", path, cerr)
+	}
+	return injected
 }
 
-// LoadFile reads all records from a JSON-lines file.
-func LoadFile(path string) ([]Record, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+// TornTail reports a trailing incomplete record recovered (skipped) by
+// LoadFile — the signature a crash or power loss mid-append leaves behind.
+type TornTail struct {
+	// Offset is the byte offset where the torn record begins.
+	Offset int64
+	// Bytes is the length of the discarded fragment.
+	Bytes int
+	// Err is the decode error the fragment produced.
+	Err error
+}
+
+func (t *TornTail) String() string {
+	return fmt.Sprintf("torn trailing record at offset %d (%d bytes): %v", t.Offset, t.Bytes, t.Err)
+}
+
+// LoadFile reads all records from a JSON-lines file, tolerating a torn
+// trailing record: if the final line is incomplete (crash mid-append), the
+// complete records still load and the tail is reported via TornTail rather
+// than failing the whole file — one interrupted append must never disable
+// warm-start. Corruption anywhere before the final line is still an error:
+// that is not a crash signature, and records silently skipped mid-file
+// would train on a silently biased history.
+func LoadFile(path string) ([]Record, *TornTail, error) {
+	if fault := faultinject.Fire(faultinject.PointHistoryLoad); fault != nil {
+		fault.Sleep()
+		if fault.Err != nil {
+			return nil, nil, fault.Err
+		}
 	}
-	defer f.Close()
-	return Read(f)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return parseLines(data)
+}
+
+func parseLines(data []byte) ([]Record, *TornTail, error) {
+	var out []Record
+	var off int64
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		line := data
+		terminated := nl >= 0
+		if terminated {
+			line = data[:nl]
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) > 0 {
+			var rec Record
+			if err := json.Unmarshal(trimmed, &rec); err != nil {
+				if terminated {
+					return nil, nil, fmt.Errorf(
+						"history: record %d at offset %d: %w", len(out), off, err)
+				}
+				return out, &TornTail{Offset: off, Bytes: len(line), Err: err}, nil
+			}
+			out = append(out, rec)
+		}
+		if !terminated {
+			break
+		}
+		off += int64(nl) + 1
+		data = data[nl+1:]
+	}
+	return out, nil, nil
 }
 
 // TrainingRunsFor extracts the training data of every record matching the

@@ -75,9 +75,12 @@ func TestFileAppendAndLoad(t *testing.T) {
 	if err := AppendFile(path, rec2); err != nil {
 		t.Fatal(err)
 	}
-	got, err := LoadFile(path)
+	got, torn, err := LoadFile(path)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if torn != nil {
+		t.Fatalf("unexpected torn tail on a clean file: %v", torn)
 	}
 	if len(got) != 2 {
 		t.Fatalf("loaded %d records, want 2", len(got))
@@ -88,7 +91,7 @@ func TestFileAppendAndLoad(t *testing.T) {
 }
 
 func TestLoadFileMissing(t *testing.T) {
-	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.jsonl")); !os.IsNotExist(err) {
+	if _, _, err := LoadFile(filepath.Join(t.TempDir(), "nope.jsonl")); !os.IsNotExist(err) {
 		t.Errorf("err = %v, want not-exist", err)
 	}
 }

@@ -1,0 +1,446 @@
+// The chaos suite: seeded fault schedules replayed against the full
+// service, under -race in CI across several fixed seeds.
+//
+// Every test reads its seed from PREDICT_CHAOS_SEED (default 1), so a CI
+// failure names the exact schedule that produced it and one env var
+// reproduces it locally. The suite holds the three robustness stories the
+// failure-handling layer promises: a torn history tail cannot disable
+// warm-start, a failing model trips its breaker (fast 503s, no fit-pool
+// consumption) and recovers through a half-open probe, and readiness
+// degrades and recovers while warm cache hits keep serving.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"predict/internal/faultinject"
+	"predict/internal/graph"
+	"predict/internal/history"
+	"predict/internal/retry"
+)
+
+// chaosSeed reads the schedule seed from PREDICT_CHAOS_SEED (default 1).
+func chaosSeed(t *testing.T) uint64 {
+	t.Helper()
+	v := os.Getenv("PREDICT_CHAOS_SEED")
+	if v == "" {
+		return 1
+	}
+	seed, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		t.Fatalf("PREDICT_CHAOS_SEED=%q: %v", v, err)
+	}
+	return seed
+}
+
+// getJSON fetches url and returns the status and decoded body.
+func getJSON(t *testing.T, url string) (int, map[string]json.RawMessage) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding %s response: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+// TestChaosBreakerTripsAndRecovers drives the circuit breaker through its
+// whole state machine over HTTP: consecutive injected fit failures trip
+// it (503 + Retry-After, no fit consumed while open), a failed half-open
+// probe reopens it, and a successful probe closes it again.
+func TestChaosBreakerTripsAndRecovers(t *testing.T) {
+	const cooldown = 150 * time.Millisecond
+	errFit := errors.New("injected fit failure")
+	// Three injected failures: two trip the breaker, the third fails the
+	// first half-open probe (reopening it); the fourth attempt succeeds.
+	in := faultinject.NewInjector(chaosSeed(t), faultinject.Rule{
+		Point: faultinject.PointServiceFit,
+		From:  1, Count: 3,
+		Err: errFit,
+	})
+	restore := faultinject.Enable(in)
+	defer restore()
+
+	svc, server := newTestServer(t, Config{
+		FitBreakerThreshold: 2,
+		FitBreakerCooldown:  cooldown,
+	})
+
+	post := func() (int, http.Header, map[string]json.RawMessage) {
+		var body bytes.Buffer
+		if err := json.NewEncoder(&body).Encode(testRequest()); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(server.URL+"/predict", "application/json", &body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header, out
+	}
+
+	// Two consecutive fit failures: each is a real (500) failure and
+	// together they trip the breaker.
+	for i := 1; i <= 2; i++ {
+		if status, _, raw := post(); status != http.StatusInternalServerError {
+			t.Fatalf("failure %d: HTTP %d (%v), want 500", i, status, raw)
+		}
+	}
+	if got := in.Hits(faultinject.PointServiceFit); got != 2 {
+		t.Fatalf("fit attempts after trip = %d, want 2", got)
+	}
+
+	// Open: immediate 503 with a Retry-After hint, and crucially no new
+	// fit attempt — the breaker answers before the fit gate.
+	status, hdr, raw := post()
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker: HTTP %d (%v), want 503", status, raw)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("open breaker response missing Retry-After header")
+	}
+	st := svc.Stats()
+	if got := in.Hits(faultinject.PointServiceFit); got != 2 {
+		t.Fatalf("open breaker consumed a fit attempt: %d, want 2", got)
+	}
+	if st.FitQueueDepth != 0 {
+		t.Fatalf("open breaker holds a fit-queue slot: depth = %d", st.FitQueueDepth)
+	}
+	if st.BreakerTrips != 1 || st.BreakerOpen != 1 || st.BreakerFastFails < 1 {
+		t.Fatalf("breaker stats after trip: %+v", st)
+	}
+
+	// Half-open probe #1: the third injected failure reopens the breaker.
+	time.Sleep(cooldown + 20*time.Millisecond)
+	if status, _, _ := post(); status != http.StatusInternalServerError {
+		t.Fatalf("failed probe: HTTP %d, want 500", status)
+	}
+	if status, _, _ := post(); status != http.StatusServiceUnavailable {
+		t.Fatalf("after failed probe the breaker must be open again, got HTTP %d", status)
+	}
+	if got := svc.Stats().BreakerTrips; got != 2 {
+		t.Fatalf("trips after failed probe = %d, want 2", got)
+	}
+
+	// Half-open probe #2: the schedule is exhausted, the fit succeeds, the
+	// breaker closes and stays closed.
+	time.Sleep(cooldown + 20*time.Millisecond)
+	status, _, raw = post()
+	if status != http.StatusOK {
+		t.Fatalf("successful probe: HTTP %d (%v), want 200", status, raw)
+	}
+	if pr := decodePrediction(t, raw); pr.CacheHit {
+		t.Fatal("probe fit reported a cache hit")
+	}
+	st = svc.Stats()
+	if st.BreakerOpen != 0 {
+		t.Fatalf("breaker still open after successful probe: %+v", st)
+	}
+	// Warm traffic flows normally again.
+	if status, _, raw := post(); status != http.StatusOK || !decodePrediction(t, raw).CacheHit {
+		t.Fatalf("warm request after recovery: HTTP %d, %v", status, raw)
+	}
+	if got := in.Fired(faultinject.PointServiceFit); got != 3 {
+		t.Fatalf("injected faults fired = %d, want 3 (%s)", got, in)
+	}
+}
+
+// TestChaosTornHistoryWarmStart crashes an append mid-record (for real,
+// on disk) and shows warm-start survives: the complete records refit, the
+// torn tail is counted, and the warmed model serves a cache hit.
+func TestChaosTornHistoryWarmStart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "history.jsonl")
+
+	svc1 := New(Config{})
+	if _, err := svc1.Predict(context.Background(), testRequest()); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := svc1.SaveHistory(path); err != nil || n != 1 {
+		t.Fatalf("SaveHistory: n=%d err=%v", n, err)
+	}
+
+	// Crash mid-append: a fault schedule tears the next record partway
+	// through its payload.
+	func() {
+		restore := faultinject.Enable(faultinject.NewInjector(chaosSeed(t), faultinject.Rule{
+			Point:        faultinject.PointHistoryAppend,
+			Err:          errors.New("injected crash"),
+			PartialBytes: 37,
+		}))
+		defer restore()
+		rec := svc1.models.snapshot()[0].val.Record("torn-key", "torn-dataset")
+		if err := history.AppendFile(path, rec); err == nil {
+			t.Fatal("torn append reported success")
+		}
+	}()
+
+	svc2 := New(Config{})
+	warmed, skipped, err := svc2.WarmFromHistory(path)
+	if err != nil {
+		t.Fatalf("WarmFromHistory on torn file: %v", err)
+	}
+	if warmed != 1 || skipped != 0 {
+		t.Fatalf("warmed=%d skipped=%d, want 1, 0", warmed, skipped)
+	}
+	if got := svc2.Stats().TornRecovered; got != 1 {
+		t.Fatalf("torn_records_recovered = %d, want 1", got)
+	}
+	resp, err := svc2.Predict(context.Background(), testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.CacheHit {
+		t.Fatal("warm-started model missed the cache")
+	}
+	if got := svc2.Stats().Fits; got != 0 {
+		t.Fatalf("warm start ran %d fits, want 0", got)
+	}
+}
+
+// TestChaosWarmStartTruncationSweep truncates a saved history at a
+// seed-phased sweep of byte offsets and asserts warm-start NEVER fails:
+// whatever the crash point, the service comes up with every complete
+// record warmed and the torn tail (when there is one) counted.
+func TestChaosWarmStartTruncationSweep(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "history.jsonl")
+
+	svc1 := New(Config{})
+	if _, err := svc1.Predict(context.Background(), testRequest()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc1.SaveHistory(full); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stride the sweep (prime step) with a seed-dependent phase: across
+	// the CI seed matrix the offsets tile the file densely, while one run
+	// stays fast. Boundary offsets always run.
+	const stride = 17
+	seed := chaosSeed(t)
+	offsets := []int{0, 1, len(data) - 1, len(data)}
+	for off := int(seed % stride); off < len(data); off += stride {
+		offsets = append(offsets, off)
+	}
+
+	path := filepath.Join(dir, "truncated.jsonl")
+	for _, off := range offsets {
+		prefix := data[:off]
+		if err := os.WriteFile(path, prefix, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		svc := New(Config{})
+		warmed, skipped, err := svc.WarmFromHistory(path)
+		if err != nil {
+			t.Fatalf("offset %d: WarmFromHistory failed: %v (truncation must never be fatal)", off, err)
+		}
+		// Oracle: newline-terminated records are complete; a non-empty
+		// remainder either IS the final record (valid JSON, missing only
+		// its newline) or is a torn tail.
+		complete := bytes.Count(prefix, []byte{'\n'})
+		remainder := prefix
+		if i := bytes.LastIndexByte(prefix, '\n'); i >= 0 {
+			remainder = prefix[i+1:]
+		}
+		want := complete
+		wantTorn := int64(0)
+		if len(remainder) > 0 {
+			if json.Valid(remainder) {
+				want++
+			} else {
+				wantTorn = 1
+			}
+		}
+		if warmed != want || skipped != 0 {
+			t.Fatalf("offset %d: warmed=%d skipped=%d, want %d, 0", off, warmed, skipped, want)
+		}
+		if got := svc.Stats().TornRecovered; got != wantTorn {
+			t.Fatalf("offset %d: torn_records_recovered = %d, want %d", off, got, wantTorn)
+		}
+	}
+}
+
+// TestChaosFlakyDatasetLoadRetries injects transient faults (with
+// latency) into the registry load path and shows the backoff policy rides
+// them out — and that permanent errors are NOT retried.
+func TestChaosFlakyDatasetLoadRetries(t *testing.T) {
+	dir := t.TempDir()
+	if err := graph.WriteSnapshotFile(filepath.Join(dir, "social.snap"), testWikiGraph(t)); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		DatasetDir:     dir,
+		RetryAttempts:  4,
+		RetryBaseDelay: time.Millisecond,
+		RetryMaxDelay:  4 * time.Millisecond,
+	}
+
+	// Two transient failures, then success: the load must succeed on the
+	// third attempt, having recorded two retries.
+	in := faultinject.NewInjector(chaosSeed(t), faultinject.Rule{
+		Point: faultinject.PointGraphLoadFile,
+		From:  1, Count: 2,
+		Err:   retry.Transient(errors.New("injected flaky read")),
+		Delay: time.Millisecond,
+	})
+	restore := faultinject.Enable(in)
+	svc := New(cfg)
+	_, cached, err := svc.LoadDataset(context.Background(), "social")
+	restore()
+	if err != nil {
+		t.Fatalf("flaky load did not recover: %v", err)
+	}
+	if cached {
+		t.Fatal("first load reported already-cached")
+	}
+	if got := svc.Stats().IORetries; got != 2 {
+		t.Fatalf("io_retries = %d, want 2", got)
+	}
+	if got := in.Hits(faultinject.PointGraphLoadFile); got != 3 {
+		t.Fatalf("load attempts = %d, want 3 (%s)", got, in)
+	}
+
+	// Persistent transient failure: the policy gives up after its attempt
+	// budget instead of retrying forever.
+	in = faultinject.NewInjector(chaosSeed(t), faultinject.Rule{
+		Point: faultinject.PointGraphLoadFile,
+		Err:   retry.Transient(errors.New("injected dead disk")),
+	})
+	restore = faultinject.Enable(in)
+	svc = New(cfg)
+	_, _, err = svc.LoadDataset(context.Background(), "social")
+	restore()
+	if err == nil {
+		t.Fatal("persistently failing load reported success")
+	}
+	var se *Error
+	if !errors.As(err, &se) || se.Status != 500 {
+		t.Fatalf("persistent failure error = %v, want a 500 service error", err)
+	}
+	if got := in.Hits(faultinject.PointGraphLoadFile); got != 4 {
+		t.Fatalf("load attempts = %d, want the full budget of 4 (%s)", got, in)
+	}
+
+	// Permanent (non-transient) failure: exactly one attempt.
+	in = faultinject.NewInjector(chaosSeed(t), faultinject.Rule{
+		Point: faultinject.PointGraphLoadFile,
+		Err:   errors.New("injected corrupt file"),
+	})
+	restore = faultinject.Enable(in)
+	svc = New(cfg)
+	_, _, err = svc.LoadDataset(context.Background(), "social")
+	restore()
+	if err == nil {
+		t.Fatal("corrupt load reported success")
+	}
+	if got := in.Hits(faultinject.PointGraphLoadFile); got != 1 {
+		t.Fatalf("permanent error retried: %d attempts, want 1", got)
+	}
+	if got := svc.Stats().IORetries; got != 0 {
+		t.Fatalf("io_retries = %d for a permanent error, want 0", got)
+	}
+}
+
+// TestChaosReadinessDegradesAndRecovers breaks the service's dependencies
+// while it is serving warm traffic: /readyz flips to 503 (and /healthz
+// reports degraded, still 200 — liveness must not get the process
+// killed), warm /predict hits keep answering 200, and restoring the
+// dependencies flips readiness back without a restart.
+func TestChaosReadinessDegradesAndRecovers(t *testing.T) {
+	base := t.TempDir()
+	dataDir := filepath.Join(base, "data")
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteSnapshotFile(filepath.Join(dataDir, "social.snap"), testWikiGraph(t)); err != nil {
+		t.Fatal(err)
+	}
+	histPath := filepath.Join(dataDir, "history.jsonl")
+	svc, server := newTestServer(t, Config{DatasetDir: dataDir, HistoryPath: histPath})
+
+	// Warm a generator-backed model (no disk dependency on the warm path).
+	if status, raw := postJSON(t, server.URL+"/predict", testRequest()); status != http.StatusOK {
+		t.Fatalf("cold predict: HTTP %d (%v)", status, raw)
+	}
+
+	// Healthy: ready, ok.
+	if status, raw := getJSON(t, server.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("healthy /readyz: HTTP %d (%v)", status, raw)
+	}
+	status, raw := getJSON(t, server.URL+"/healthz")
+	if status != http.StatusOK || string(raw["status"]) != `"ok"` {
+		t.Fatalf("healthy /healthz: HTTP %d status %s", status, raw["status"])
+	}
+
+	// Break both dependencies at once: the dataset dir (with the history
+	// file inside it) disappears, as a bad volume would.
+	if err := os.RemoveAll(dataDir); err != nil {
+		t.Fatal(err)
+	}
+	status, raw = getJSON(t, server.URL+"/readyz")
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("degraded /readyz: HTTP %d (%v), want 503", status, raw)
+	}
+	var rd Readiness
+	if err := json.Unmarshal(mustMarshal(t, raw), &rd); err != nil {
+		t.Fatal(err)
+	}
+	if rd.Ready || rd.Status != "degraded" || len(rd.Reasons) != 2 {
+		t.Fatalf("degraded readiness payload: %+v (want both probes failing)", rd)
+	}
+	// Liveness stays 200 — restarting would destroy the warm cache that
+	// is still serving — but the status field tells the truth.
+	status, raw = getJSON(t, server.URL+"/healthz")
+	if status != http.StatusOK || string(raw["status"]) != `"degraded"` {
+		t.Fatalf("degraded /healthz: HTTP %d status %s, want 200 + degraded", status, raw["status"])
+	}
+	// Warm traffic keeps flowing through the degraded state.
+	status, praw := postJSON(t, server.URL+"/predict", testRequest())
+	if status != http.StatusOK || !decodePrediction(t, praw).CacheHit {
+		t.Fatalf("warm predict while degraded: HTTP %d (%v), want 200 cache hit", status, praw)
+	}
+	if got := svc.Stats().Fits; got != 1 {
+		t.Fatalf("degraded warm serving ran %d fits, want 1 (the original cold fit)", got)
+	}
+
+	// The operator restores the volume: readiness flips back by itself.
+	if err := os.MkdirAll(dataDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if status, raw := getJSON(t, server.URL+"/readyz"); status != http.StatusOK {
+		t.Fatalf("restored /readyz: HTTP %d (%v)", status, raw)
+	}
+	if status, raw := getJSON(t, server.URL+"/healthz"); status != http.StatusOK || string(raw["status"]) != `"ok"` {
+		t.Fatalf("restored /healthz: HTTP %d status %s", status, raw["status"])
+	}
+}
+
+func mustMarshal(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

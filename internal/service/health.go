@@ -1,0 +1,85 @@
+// Liveness vs readiness: the two questions an orchestrator asks.
+//
+// Liveness ("is the process alive?") is what /healthz answers — always
+// 200 while the process can serve HTTP at all, because restarting a
+// degraded-but-serving process destroys the warm caches that are still
+// answering requests. Readiness ("should new traffic come here?") is what
+// /readyz answers — non-200 while a dependency the service needs for NEW
+// work is broken: the dataset directory unreadable (cold loads will
+// fail), or the history file unwritable (models fitted now would be lost
+// on restart). Warm cache hits keep serving through a degraded state;
+// that is the whole point of separating the two probes.
+//
+// Probes run live on each request rather than from a cached background
+// check: readiness is asked seconds apart by pollers, the probes are two
+// cheap syscalls, and a stale "ready" during an outage is exactly the
+// failure mode the endpoint exists to prevent.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Readiness reports whether the service should receive new traffic, with
+// the reasons it should not. Degraded is the /readyz payload.
+type Readiness struct {
+	// Ready is true when every probe passed.
+	Ready bool `json:"ready"`
+	// Status is "ready" or "degraded" (mirrors the /healthz status field).
+	Status string `json:"status"`
+	// Reasons lists every failed probe; empty when ready.
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Readiness probes the service's dependencies: the dataset registry
+// directory must be readable (when configured) and the history file
+// appendable (when configured). Both probes are live — a dependency
+// restored by an operator flips the endpoint back without a restart.
+func (s *Service) Readiness() Readiness {
+	r := Readiness{Ready: true, Status: "ready"}
+	if s.cfg.DatasetDir != "" {
+		if err := probeDirReadable(s.cfg.DatasetDir); err != nil {
+			r.Reasons = append(r.Reasons, fmt.Sprintf("dataset dir: %v", err))
+		}
+	}
+	if s.cfg.HistoryPath != "" {
+		if err := probeFileAppendable(s.cfg.HistoryPath); err != nil {
+			r.Reasons = append(r.Reasons, fmt.Sprintf("history file: %v", err))
+		}
+	}
+	if len(r.Reasons) > 0 {
+		r.Ready = false
+		r.Status = "degraded"
+	}
+	return r
+}
+
+// probeDirReadable verifies the directory can be opened AND listed — an
+// unreadable directory on some systems opens fine and only fails on the
+// first read.
+func probeDirReadable(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// An empty directory returns io.EOF, which is a healthy answer.
+	if _, err := d.Readdirnames(1); err != nil && !errors.Is(err, io.EOF) {
+		return err
+	}
+	return nil
+}
+
+// probeFileAppendable verifies the history file can be opened for append
+// (creating it if absent) — the exact open an archive write performs, so
+// a read-only volume or permission change is caught before a save fails.
+func probeFileAppendable(path string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -45,7 +45,8 @@ type BatchResponse struct {
 //	GET  /datasets              -> {"datasets": [DatasetInfo...]} (registry)
 //	POST /datasets/{name}/load  -> load a registry dataset into the cache
 //	GET  /stats                 -> Stats (pool depth, in-flight fits, hit ratio)
-//	GET  /healthz               -> {"status": "ok", ...Stats}
+//	GET  /healthz               -> liveness: always 200, honest status field
+//	GET  /readyz                -> readiness: 503 while degraded
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
@@ -55,6 +56,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("/datasets/", s.handleDatasetLoad)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
 	return mux
 }
 
@@ -252,14 +254,27 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz is the LIVENESS probe: always 200 while the process
+// serves HTTP, because restarting a degraded-but-serving process would
+// destroy the warm caches still answering requests. The status field is
+// honest — "ok" or "degraded" per the readiness probes — so operators
+// and dashboards see trouble here even though only /readyz changes its
+// HTTP status. The pre-existing fields are kept for compatibility.
 func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	st := s.Stats()
+	rd := s.Readiness()
+	status := "ok"
+	if !rd.Ready {
+		status = rd.Status
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":         "ok",
+		"status":         status,
+		"ready":          rd.Ready,
+		"reasons":        rd.Reasons,
 		"uptime_seconds": s.Uptime().Seconds(),
 		"models":         st.Models,
 		"graphs":         st.Graphs,
@@ -268,6 +283,24 @@ func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"evictions":      st.Evictions,
 		"fits":           st.Fits,
 	})
+}
+
+// handleReadyz is the READINESS probe: 503 while a dependency needed for
+// new work is broken (dataset dir unreadable, history unwritable), 200
+// otherwise. Load balancers drain traffic on 503; the process keeps
+// serving warm hits meanwhile, and the endpoint flips back by itself when
+// the dependency is restored (probes run live, nothing is cached).
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	rd := s.Readiness()
+	status := http.StatusOK
+	if !rd.Ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, rd)
 }
 
 // maxBodyBytes bounds request bodies so one oversized POST cannot exhaust

@@ -47,6 +47,7 @@ import (
 	"predict/internal/bsp"
 	"predict/internal/cluster"
 	"predict/internal/core"
+	"predict/internal/faultinject"
 	"predict/internal/gen"
 	"predict/internal/graph"
 	"predict/internal/history"
@@ -117,6 +118,27 @@ type Config struct {
 	// become named datasets a request can address alongside the generator
 	// prefixes. See datasets.go.
 	DatasetDir string
+	// FitBreakerThreshold is the per-model-key circuit breaker's trip
+	// point: after this many consecutive fit failures for one key, further
+	// requests for it fast-fail with 503 + Retry-After without consuming
+	// fit-pool slots, until a half-open probe succeeds. Zero selects 5;
+	// negative disables the breaker.
+	FitBreakerThreshold int
+	// FitBreakerCooldown is how long an open breaker waits before letting
+	// one probe request through (half-open); zero selects 5s.
+	FitBreakerCooldown time.Duration
+	// RetryAttempts bounds dataset I/O attempts (first try included) for
+	// transient failures; zero selects 3, negative disables retries.
+	RetryAttempts int
+	// RetryBaseDelay/RetryMaxDelay shape the jittered exponential backoff
+	// between dataset I/O retries; zero selects 50ms / 1s.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// HistoryPath, when set, names the history file the service persists
+	// models to; the readiness probe (Readiness) checks it stays
+	// appendable so operators learn about a read-only or full volume
+	// before a save silently starts failing.
+	HistoryPath string
 	// MmapDatasets serves .snap registry datasets from mmap'd pages
 	// (graph.MmapSnapshot) instead of heap copies: loads are O(1), the
 	// kernel page cache shares one physical copy across processes, and a
@@ -156,6 +178,21 @@ func (c Config) withDefaults() Config {
 	if c.ShedRetryAfter <= 0 {
 		c.ShedRetryAfter = time.Second
 	}
+	if c.FitBreakerThreshold == 0 {
+		c.FitBreakerThreshold = 5
+	}
+	if c.FitBreakerCooldown <= 0 {
+		c.FitBreakerCooldown = 5 * time.Second
+	}
+	if c.RetryAttempts == 0 {
+		c.RetryAttempts = 3
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 50 * time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = time.Second
+	}
 	if c.Cluster.Oracle == nil {
 		o := cluster.DefaultOracle()
 		c.Cluster.Oracle = &o
@@ -189,6 +226,13 @@ type Service struct {
 	fitsInFlight atomic.Int64
 	fitTimeouts  atomic.Int64
 	requests     atomic.Int64
+
+	// breakers holds per-model-key circuit breakers; ioRetries counts
+	// dataset I/O retry attempts, tornRecovered torn history tails
+	// skipped during warm-start (both for /stats).
+	breakers      breakerSet
+	ioRetries     atomic.Int64
+	tornRecovered atomic.Int64
 }
 
 // New returns a Service with the given configuration.
@@ -206,6 +250,7 @@ func New(cfg Config) *Service {
 		coalesce: newCoalescer(cfg.BatchWindow),
 		oracleFP: h.Sum64(),
 		start:    time.Now(),
+		breakers: newBreakerSet(cfg.FitBreakerThreshold, cfg.FitBreakerCooldown),
 	}
 }
 
@@ -548,12 +593,29 @@ func (s *Service) computePrediction(req PredictRequest, path, registryKey, key s
 	}
 
 	fitted, hit, err := s.models.get(context.Background(), key, func() (*core.Fitted, error) {
+		// The breaker runs before the fit gate: while it is open, requests
+		// for this key must not consume fit-queue slots that working keys
+		// could use.
+		if proceed, wait := s.breakers.allow(key); !proceed {
+			return nil, &Error{Status: 503, RetryAfterSeconds: ceilSeconds(wait), Msg: fmt.Sprintf(
+				"service: circuit breaker open for this model (%d consecutive fit failures); retry later",
+				s.cfg.FitBreakerThreshold)}
+		}
 		if !s.fitGate.tryAcquire() {
+			// A gate shed says nothing about whether this key's fits still
+			// fail — release any half-open probe admission unjudged.
+			s.breakers.skip(key)
 			return nil, &Error{Status: 503, RetryAfterSeconds: s.retryAfterSeconds(), Msg: fmt.Sprintf(
 				"service: fit queue full (%d cold fits outstanding); retry later", s.cfg.FitQueueDepth)}
 		}
 		defer s.fitGate.release()
-		return s.fit(req, g)
+		fitted, err := s.fit(req, g)
+		if err != nil {
+			s.breakers.failure(key)
+			return nil, err
+		}
+		s.breakers.success(key)
+		return fitted, nil
 	})
 	if err != nil {
 		var se *Error
@@ -590,6 +652,16 @@ func (s *Service) computePrediction(req PredictRequest, path, registryKey, key s
 	return resp, nil
 }
 
+// ceilSeconds converts a wait into a whole-second Retry-After hint, at
+// least 1 (zero would tell clients to hammer immediately).
+func ceilSeconds(d time.Duration) int {
+	sec := int((d + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
 // retryAfterSeconds is the whole-second Retry-After hint on shed
 // responses (at least 1: zero would tell clients to hammer immediately).
 func (s *Service) retryAfterSeconds() int {
@@ -608,6 +680,12 @@ func (s *Service) retryAfterSeconds() int {
 // abandoned request still warms the cache, but a fit that cannot finish
 // is bounded.
 func (s *Service) fit(req PredictRequest, g *graph.Graph) (*core.Fitted, error) {
+	if fault := faultinject.Fire(faultinject.PointServiceFit); fault != nil {
+		fault.Sleep()
+		if fault.Err != nil {
+			return nil, fault.Err
+		}
+	}
 	alg, err := algorithmFor(req.Algorithm, req.Epsilon, g.NumVertices())
 	if err != nil {
 		return nil, err
@@ -699,6 +777,17 @@ type Stats struct {
 	FitQueueCap   int   `json:"fit_queue_cap"`
 	FitQueueDepth int64 `json:"fit_queue_depth"`
 	Shed          int64 `json:"shed"`
+	// BreakerTrips counts circuit-breaker open transitions; BreakerOpen
+	// the model keys currently open; BreakerFastFails the requests
+	// answered 503 by an open breaker without consuming fit slots.
+	BreakerTrips     int64 `json:"breaker_trips"`
+	BreakerOpen      int   `json:"breaker_open"`
+	BreakerFastFails int64 `json:"breaker_fast_fails"`
+	// IORetries counts dataset I/O retry attempts (transient-failure
+	// backoff); TornRecovered counts torn trailing history records
+	// recovered (skipped, not fatal) during warm-start.
+	IORetries     int64 `json:"io_retries"`
+	TornRecovered int64 `json:"torn_records_recovered"`
 }
 
 // Stats returns a snapshot of the cache, fit and pool counters.
@@ -721,6 +810,12 @@ func (s *Service) Stats() Stats {
 		FitQueueCap:   s.fitGate.capacity(),
 		FitQueueDepth: s.fitGate.held(),
 		Shed:          s.fitGate.shed.Load() + s.reqGate.shed.Load(),
+
+		BreakerTrips:     s.breakers.trips.Load(),
+		BreakerOpen:      s.breakers.openCount(),
+		BreakerFastFails: s.breakers.fastFails.Load(),
+		IORetries:        s.ioRetries.Load(),
+		TornRecovered:    s.tornRecovered.Load(),
 	}
 	if total := h + m; total > 0 {
 		st.HitRatio = float64(h) / float64(total)
@@ -753,6 +848,13 @@ func (s *Service) SaveHistory(path string) (int, error) {
 		tmp.Close()
 		return 0, err
 	}
+	// Flush to stable storage before the rename makes the file visible:
+	// rename-over-old with an unsynced payload can survive a crash as an
+	// empty file on some filesystems, destroying the previous snapshot.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, err
+	}
 	if err := tmp.Close(); err != nil {
 		return 0, err
 	}
@@ -766,14 +868,20 @@ func (s *Service) SaveHistory(path string) (int, error) {
 // them into the cache (cheap regression refits; no sample runs). Missing
 // files are not an error, and individually unreadable records are skipped
 // rather than aborting the warm-up; the skipped count reports them so
-// operators can decide whether overwriting the file loses data.
+// operators can decide whether overwriting the file loses data. A torn
+// trailing record (crash mid-append) is recovered, counted in /stats as
+// torn_records_recovered, and does not prevent the complete records from
+// warming the cache.
 func (s *Service) WarmFromHistory(path string) (warmed, skipped int, err error) {
-	records, err := history.LoadFile(path)
+	records, torn, err := history.LoadFile(path)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return 0, 0, nil
 		}
 		return 0, 0, err
+	}
+	if torn != nil {
+		s.tornRecovered.Add(1)
 	}
 	for _, rec := range records {
 		if rec.Model == nil {
