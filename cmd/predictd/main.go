@@ -16,6 +16,7 @@
 //	predictd -fit-breaker-threshold 5 -fit-breaker-cooldown 5s  # per-model circuit breaker
 //	predictd -retry-attempts 3 -retry-base-delay 50ms -retry-max-delay 1s  # transient dataset I/O
 //	predictd -pprof-addr 127.0.0.1:6060             # live profiling (off by default)
+//	predictd -drain-timeout 10s                     # SIGTERM drain deadline before fits are canceled
 //
 // API (JSON):
 //
@@ -30,7 +31,6 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -43,6 +43,7 @@ import (
 
 	"predict/internal/bsp"
 	"predict/internal/cluster"
+	"predict/internal/faultinject"
 	"predict/internal/service"
 )
 
@@ -70,20 +71,21 @@ func main() {
 		retryN    = flag.Int("retry-attempts", 0, "dataset I/O attempts for transient failures, first try included (0 = default 3, <0 = no retries)")
 		retryBase = flag.Duration("retry-base-delay", 0, "first backoff between dataset I/O retries, jittered exponential after (0 = default 50ms)")
 		retryMax  = flag.Duration("retry-max-delay", 0, "backoff ceiling between dataset I/O retries (0 = default 1s)")
+		drainTO   = flag.Duration("drain-timeout", 10*time.Second, "SIGTERM drain deadline: how long in-flight requests get before their fits are canceled")
+		ckptOff   = flag.Bool("no-checkpoints", false, "disable continuous model checkpointing; models then persist only at clean shutdown")
+		ckptGrow  = flag.Int("checkpoint-growth-factor", 0, "compact the checkpoint log when it grows this many times its post-compaction size (0 = default 4, <0 = never compact)")
 	)
 	flag.Parse()
 
-	// The profiling listener is opt-in and separate from the service
-	// listener, so profiling endpoints are never exposed on the serving
-	// address. The blank net/http/pprof import registers its handlers on
-	// the DefaultServeMux, which nothing else in this process serves.
-	if *pprofAddr != "" {
-		go func() {
-			log.Printf("predictd: pprof listening on %s", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Printf("predictd: pprof listener: %v", err)
-			}
-		}()
+	// Fault injection for the crash/soak harness: PREDICT_FAULTS schedules
+	// deterministic faults (including self-SIGKILL) inside the real binary.
+	// Unset means disabled with zero overhead; malformed means refuse to
+	// start — a harness run with a typo'd schedule must not silently test
+	// nothing.
+	if on, err := faultinject.EnableFromEnv(); err != nil {
+		log.Fatalf("predictd: %s: %v", faultinject.EnvVar, err)
+	} else if on {
+		log.Printf("predictd: fault injection enabled from %s", faultinject.EnvVar)
 	}
 
 	oracle := cluster.DefaultOracle()
@@ -108,70 +110,81 @@ func main() {
 		RetryBaseDelay:      *retryBase,
 		RetryMaxDelay:       *retryMax,
 		// The readiness probe (GET /readyz) watches the history file's
-		// appendability when one is configured.
-		HistoryPath: *histFile,
+		// appendability when one is configured; with checkpointing on
+		// (default) every fitted model is durably appended here at fit time.
+		HistoryPath:            *histFile,
+		DisableCheckpoints:     *ckptOff,
+		CheckpointGrowthFactor: *ckptGrow,
 	})
 
-	// persistPath is where the cache snapshot lands at shutdown. If the
-	// warm-up could not read the whole file, overwriting it would destroy
-	// the records that failed to load — divert to a sibling file instead
-	// and leave the original for inspection.
-	persistPath := *histFile
+	// Warm the cache from history. If the warm-up could not read the whole
+	// file, overwriting it would destroy the records that failed to load —
+	// divert checkpoints and the shutdown snapshot to a sibling file and
+	// leave the original for inspection.
 	if *histFile != "" {
 		warmed, skipped, err := svc.WarmFromHistory(*histFile)
 		switch {
 		case err != nil:
-			persistPath = *histFile + ".recovered"
+			svc.RedirectHistory(*histFile + ".recovered")
 			log.Printf("predictd: warming from %s: %v; will persist to %s to preserve the original",
-				*histFile, err, persistPath)
+				*histFile, err, svc.HistoryPath())
 		case skipped > 0:
-			persistPath = *histFile + ".recovered"
+			svc.RedirectHistory(*histFile + ".recovered")
 			log.Printf("predictd: warmed %d model(s), skipped %d unreadable record(s); will persist to %s to preserve the original",
-				warmed, skipped, persistPath)
+				warmed, skipped, svc.HistoryPath())
 		case warmed > 0:
 			log.Printf("predictd: warmed %d model(s) from %s", warmed, *histFile)
 		}
 		if svc.Stats().TornRecovered > 0 {
 			// A crash tore the file's last record mid-append; the complete
-			// records warmed fine and the shutdown persist rewrites the
-			// file whole, so no divert is needed — but the operator should
-			// know the crash happened.
+			// records warmed fine and the next compaction or snapshot
+			// rewrites the file whole, so no divert is needed — but the
+			// operator should know the crash happened.
 			log.Printf("predictd: recovered a torn trailing record in %s (interrupted append); complete records kept", *histFile)
 		}
 	}
 
-	srv := &http.Server{
-		Addr:              *addr,
-		Handler:           svc.Handler(),
-		ReadHeaderTimeout: 10 * time.Second,
+	// The profiling listener is opt-in and separate from the service
+	// listener, so profiling endpoints are never exposed on the serving
+	// address. The blank net/http/pprof import registers its handlers on
+	// the DefaultServeMux, which nothing else in this process serves; the
+	// controller closes the listener first during drain.
+	ctrl, err := service.StartController(svc, service.ControllerConfig{
+		Addr:         *addr,
+		PprofAddr:    *pprofAddr,
+		PprofHandler: http.DefaultServeMux,
+		DrainTimeout: *drainTO,
+		Logf: func(format string, args ...any) {
+			log.Printf("predictd: "+format, args...)
+		},
+	})
+	if err != nil {
+		log.Fatalf("predictd: %v", err)
 	}
 
-	// Serve until SIGINT/SIGTERM, then drain and persist the cache.
-	errc := make(chan error, 1)
-	go func() {
-		log.Printf("predictd: listening on %s", *addr)
-		errc <- srv.ListenAndServe()
-	}()
+	// Serve until SIGINT/SIGTERM, then drain: readiness flips to draining,
+	// new work is refused 503 + Connection: close, in-flight requests get
+	// the drain deadline, and fits still running past it are canceled.
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
-
 	select {
-	case err := <-errc:
+	case err := <-ctrl.Err():
 		log.Fatalf("predictd: %v", err)
 	case sig := <-sigc:
-		log.Printf("predictd: %s: shutting down", sig)
+		log.Printf("predictd: %s: draining", sig)
+	}
+	if err := ctrl.Drain(); err != nil {
+		log.Printf("predictd: drain: %v", err)
 	}
 
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
-		log.Printf("predictd: shutdown: %v", err)
-	}
-	if persistPath != "" {
-		if n, err := svc.SaveHistory(persistPath); err != nil {
+	// The shutdown snapshot is an optimization, not the durability story —
+	// checkpointing already persisted every model at fit time. It compacts
+	// the log to exactly the live cache (LRU order preserved) in one pass.
+	if path := svc.HistoryPath(); path != "" {
+		if n, err := svc.SaveHistory(path); err != nil {
 			log.Printf("predictd: persisting cache: %v", err)
 		} else {
-			fmt.Printf("predictd: persisted %d model(s) to %s\n", n, persistPath)
+			fmt.Printf("predictd: persisted %d model(s) to %s\n", n, path)
 		}
 	}
 }

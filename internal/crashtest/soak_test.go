@@ -1,0 +1,96 @@
+package crashtest
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestSoakLeakFree runs the real binary under sustained mixed traffic and
+// asserts the process-level leak canaries stay flat: goroutine count and
+// open file descriptors must not grow round over round, uptime and the
+// checkpoint counters must be monotone, and the final SIGTERM must still
+// drain cleanly. PREDICT_SOAK_ROUNDS scales the loop (CI keeps it short;
+// a nightly can crank it).
+func TestSoakLeakFree(t *testing.T) {
+	rounds := 5
+	if v := os.Getenv("PREDICT_SOAK_ROUNDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			t.Fatalf("PREDICT_SOAK_ROUNDS=%q", v)
+		}
+		rounds = n
+	}
+
+	hist := filepath.Join(t.TempDir(), "models.jsonl")
+	srv := Start(t, []string{"-history", hist})
+	srv.WaitReady(15 * time.Second)
+
+	// Warm-up: two cold fits plus a burst of warm hits, so pools, caches
+	// and HTTP keep-alives reach steady state before the baseline is read.
+	for i := 1; i <= 2; i++ {
+		if code := srv.Predict(uint64(i)); code != 200 {
+			t.Fatalf("warm-up fit %d = %d\n%s", i, code, srv.Output())
+		}
+	}
+	for i := 0; i < 10; i++ {
+		if code := srv.Predict(1); code != 200 {
+			t.Fatalf("warm-up hit = %d", code)
+		}
+	}
+	base := srv.Stats()
+	baseGoroutines := StatInt(t, base, "goroutines")
+	baseFDs := StatInt(t, base, "open_fds")
+	lastUptime := StatFloat(t, base, "uptime_seconds")
+	lastCheckpoints := StatInt(t, base, "checkpoints_written")
+
+	for round := 1; round <= rounds; round++ {
+		// Mixed traffic: warm hits on both models, one cold fit for a new
+		// key (exercising fit pool, checkpoint append and eventual
+		// compaction), and the observability endpoints a poller hammers.
+		for i := 0; i < 10; i++ {
+			if code := srv.Predict(uint64(1 + i%2)); code != 200 {
+				t.Fatalf("round %d warm predict = %d\n%s", round, code, srv.Output())
+			}
+		}
+		if code := srv.Predict(uint64(100 + round)); code != 200 {
+			t.Fatalf("round %d cold predict = %d\n%s", round, code, srv.Output())
+		}
+		srv.Models()
+
+		st := srv.Stats()
+		if up := StatFloat(t, st, "uptime_seconds"); up < lastUptime {
+			t.Fatalf("round %d: uptime went backwards (%v -> %v)", round, lastUptime, up)
+		} else {
+			lastUptime = up
+		}
+		if cp := StatInt(t, st, "checkpoints_written"); cp < lastCheckpoints {
+			t.Fatalf("round %d: checkpoints_written went backwards (%d -> %d)", round, lastCheckpoints, cp)
+		} else {
+			lastCheckpoints = cp
+		}
+	}
+
+	// Leak check: the canaries may wobble by a few (transient HTTP conns,
+	// GC workers) but must not scale with rounds.
+	final := srv.Stats()
+	if g := StatInt(t, final, "goroutines"); g > baseGoroutines+10 {
+		t.Errorf("goroutines grew %d -> %d over %d rounds", baseGoroutines, g, rounds)
+	}
+	if baseFDs > 0 { // 0 means /proc is unavailable: nothing to check
+		if f := StatInt(t, final, "open_fds"); f > baseFDs+10 {
+			t.Errorf("open fds grew %d -> %d over %d rounds", baseFDs, f, rounds)
+		}
+	}
+	if got := StatInt(t, final, "checkpoints_written"); got < int64(2+rounds) {
+		t.Errorf("checkpoints_written = %d after %d cold fits", got, 2+rounds)
+	}
+
+	srv.GracefulStop(30 * time.Second)
+	if out := srv.Output(); !strings.Contains(out, "drain complete") {
+		t.Errorf("soak shutdown did not drain cleanly:\n%s", out)
+	}
+}

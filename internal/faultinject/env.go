@@ -1,0 +1,115 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// EnvVar is the environment variable EnableFromEnv reads its schedule
+// from; EnvSeedVar seeds the injector (default 1). The crash harness sets
+// both when it launches the real binary, which is how a process-level
+// test schedules a SIGKILL at an exact internal point.
+const (
+	EnvVar     = "PREDICT_FAULTS"
+	EnvSeedVar = "PREDICT_FAULTS_SEED"
+)
+
+// EnableFromEnv installs an injector from the PREDICT_FAULTS schedule if
+// one is set, returning whether injection was enabled. With the variable
+// unset or empty this does nothing — the production state stays the
+// nil-injector fast path.
+//
+// The schedule is ';'-separated rules of ','-separated fields:
+//
+//	point=history.append,from=2,partial=25,kill
+//	point=service.fit,from=1,count=1,period=7,err=injected fit failure
+//
+// Fields: point=NAME (required), from=N, count=N, period=N, prob=F,
+// partial=N, delay=DURATION, err=MESSAGE, kill. Unknown fields are
+// errors: a typo in a crash schedule must fail the harness loudly, not
+// silently test nothing.
+func EnableFromEnv() (bool, error) {
+	spec := os.Getenv(EnvVar)
+	if strings.TrimSpace(spec) == "" {
+		return false, nil
+	}
+	rules, err := ParseRules(spec)
+	if err != nil {
+		return false, fmt.Errorf("faultinject: %s: %w", EnvVar, err)
+	}
+	seed := uint64(1)
+	if v := os.Getenv(EnvSeedVar); v != "" {
+		seed, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return false, fmt.Errorf("faultinject: %s=%q: %w", EnvSeedVar, v, err)
+		}
+	}
+	Enable(NewInjector(seed, rules...))
+	return true, nil
+}
+
+// ParseRules parses a PREDICT_FAULTS schedule into injection rules.
+func ParseRules(spec string) ([]Rule, error) {
+	var rules []Rule
+	for _, rs := range strings.Split(spec, ";") {
+		rs = strings.TrimSpace(rs)
+		if rs == "" {
+			continue
+		}
+		var r Rule
+		for _, field := range strings.Split(rs, ",") {
+			field = strings.TrimSpace(field)
+			if field == "" {
+				continue
+			}
+			key, val, hasVal := strings.Cut(field, "=")
+			var err error
+			switch key {
+			case "point":
+				r.Point = val
+			case "from":
+				r.From, err = strconv.Atoi(val)
+			case "count":
+				r.Count, err = strconv.Atoi(val)
+			case "period":
+				r.Period, err = strconv.Atoi(val)
+			case "prob":
+				r.Prob, err = strconv.ParseFloat(val, 64)
+			case "partial":
+				r.PartialBytes, err = strconv.Atoi(val)
+			case "delay":
+				r.Delay, err = time.ParseDuration(val)
+			case "err":
+				if val == "" {
+					val = "injected fault"
+				}
+				r.Err = errors.New(val)
+			case "kill":
+				if hasVal {
+					return nil, fmt.Errorf("rule %q: kill takes no value", rs)
+				}
+				r.Kill = true
+			default:
+				return nil, fmt.Errorf("rule %q: unknown field %q", rs, key)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("rule %q: field %q: %w", rs, field, err)
+			}
+		}
+		if r.Point == "" {
+			return nil, fmt.Errorf("rule %q: missing point=", rs)
+		}
+		if r.Err == nil && !r.Kill && r.Delay <= 0 {
+			return nil, fmt.Errorf("rule %q: no effect (want err=, kill or delay=)", rs)
+		}
+		rules = append(rules, r)
+	}
+	if len(rules) == 0 {
+		return nil, errors.New("empty schedule")
+	}
+	return rules, nil
+}

@@ -26,6 +26,7 @@
 package faultinject
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -46,6 +47,10 @@ const (
 	// PointHistoryAppend fires inside history append; PartialBytes rules
 	// produce a real torn record on disk (a simulated crash mid-append).
 	PointHistoryAppend = "history.append"
+	// PointHistoryCompact fires inside history.CompactFile, after the
+	// compacted temp file is durable but before the rename makes it the
+	// log — the window where a crash must leave the old log intact.
+	PointHistoryCompact = "history.compact"
 	// PointHistoryLoad fires at history.LoadFile's entry.
 	PointHistoryLoad = "history.load"
 	// PointServiceFit fires at the service's cold-fit path, before the
@@ -55,7 +60,8 @@ const (
 
 // Fault is what an instrumented call site observes when a rule fires.
 // Sites interpret the fields they can honor: every site honors Delay and
-// Err; only write sites honor PartialBytes.
+// Err; only write sites honor PartialBytes; sites on the durability path
+// honor Kill.
 type Fault struct {
 	// Err, when non-nil, is returned by the instrumented operation after
 	// Delay (and, for write points, after the partial write).
@@ -65,6 +71,13 @@ type Fault struct {
 	// PartialBytes, when > 0 at a write point, persists only that many
 	// bytes of the payload before failing — a torn write.
 	PartialBytes int
+	// Kill, when true, terminates the process with SIGKILL at the point's
+	// most interesting moment (after a partial write lands, before a
+	// compaction rename, at a fit's start) — the crash harness's way of
+	// dying mid-operation with no deferred cleanup, no flushes, no
+	// graceful anything. Only the process-level crash harness schedules
+	// kills; in-process tests use Err.
+	Kill bool
 }
 
 // Sleep applies the fault's injected latency. Call sites without a
@@ -72,6 +85,30 @@ type Fault struct {
 func (f *Fault) Sleep() {
 	if f != nil && f.Delay > 0 {
 		time.Sleep(f.Delay)
+	}
+}
+
+// SleepContext applies the fault's injected latency but returns early if
+// ctx is done — call sites with a cancelable context (the fit path) use
+// it so an injected stall still honors shutdown.
+func (f *Fault) SleepContext(ctx context.Context) {
+	if f == nil || f.Delay <= 0 {
+		return
+	}
+	t := time.NewTimer(f.Delay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}
+
+// MaybeKill terminates the process with SIGKILL if the fault asks for it,
+// and never returns in that case. Call sites place it at the exact moment
+// the scheduled crash should strike.
+func (f *Fault) MaybeKill() {
+	if f != nil && f.Kill {
+		RaiseKill()
 	}
 }
 
@@ -96,6 +133,7 @@ type Rule struct {
 	Err          error
 	Delay        time.Duration
 	PartialBytes int
+	Kill         bool
 }
 
 // matches reports whether the rule fires on the point's hit number h
@@ -168,7 +206,7 @@ func (in *Injector) fire(point string) *Fault {
 			continue
 		}
 		in.fired[point]++
-		return &Fault{Err: r.Err, Delay: r.Delay, PartialBytes: r.PartialBytes}
+		return &Fault{Err: r.Err, Delay: r.Delay, PartialBytes: r.PartialBytes, Kill: r.Kill}
 	}
 	return nil
 }

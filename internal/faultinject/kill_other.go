@@ -1,0 +1,12 @@
+//go:build !unix
+
+package faultinject
+
+import "os"
+
+// RaiseKill approximates an uncatchable kill on platforms without
+// syscall.Kill: os.Exit runs no deferred functions, which is the property
+// the crash harness depends on. 137 mirrors the shell's SIGKILL code.
+func RaiseKill() {
+	os.Exit(137)
+}

@@ -1,0 +1,18 @@
+//go:build unix
+
+package faultinject
+
+import (
+	"os"
+	"syscall"
+)
+
+// RaiseKill terminates the process with SIGKILL — no deferred functions,
+// no flushes, no exit handlers — exactly the death a power loss or an
+// OOM kill delivers. It never returns: SIGKILL delivery can race the
+// return from kill(2), so the caller parks forever rather than executing
+// one more instruction of the path under test.
+func RaiseKill() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	select {}
+}

@@ -1,0 +1,86 @@
+// Log compaction. Continuous checkpointing appends one "model" record per
+// fitted model, so a long-lived service's history file accumulates stale
+// generations of the same model key. CompactFile rewrites the log keeping
+// only the newest record per key — crash-safely: the compacted payload is
+// written to a temp file, fsynced, and renamed over the log, so any
+// instant of death leaves either the old log or the new one, both of
+// which warm-start to exactly the same model set.
+package history
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"predict/internal/faultinject"
+)
+
+// CompactRecords returns the log's live suffix: for each model key, only
+// the newest record survives, holding its last position in the log so a
+// warm start replays insertions in the same order the uncompacted log
+// would. Records that are not model records (plain profiled runs, which
+// TrainingRunsFor still trains on) are kept verbatim in place — they are
+// training data, not cache generations, and compaction must never drop
+// data it cannot reconstruct.
+func CompactRecords(records []Record) []Record {
+	last := make(map[string]int, len(records))
+	for i, r := range records {
+		if r.Model != nil {
+			last[r.Model.Key] = i
+		}
+	}
+	out := make([]Record, 0, len(last))
+	for i, r := range records {
+		if r.Model != nil && last[r.Model.Key] != i {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// CompactFile rewrites the log at path to its compacted form, returning
+// how many records the compacted log holds. A torn trailing record (crash
+// mid-append) is dropped by the rewrite — it was never a complete record.
+// The rewrite is atomic (temp file + fsync + rename): a crash at any
+// point, including the injected one between durability and rename, leaves
+// a log that warm-starts to the same model set.
+func CompactFile(path string) (kept int, err error) {
+	records, _, err := LoadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("history: compacting %s: %w", path, err)
+	}
+	records = CompactRecords(records)
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".compact*")
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := Write(tmp, records...); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	// The compacted payload must be durable before the rename publishes
+	// it: rename-over-old with unsynced data can survive a crash as an
+	// empty log on some filesystems, destroying every checkpoint.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, err
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, err
+	}
+	if fault := faultinject.Fire(faultinject.PointHistoryCompact); fault != nil {
+		fault.Sleep()
+		// The scheduled crash strikes in the window where the new log is
+		// durable but not yet published — the old log must win.
+		fault.MaybeKill()
+		if fault.Err != nil {
+			return 0, fault.Err
+		}
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, err
+	}
+	return len(records), nil
+}

@@ -201,17 +201,27 @@ func appendFile(path string, durable bool, records ...Record) error {
 	}
 	payload := buf.Bytes()
 	var injected error
+	killAfterWrite := false
 	if fault := faultinject.Fire(faultinject.PointHistoryAppend); fault != nil {
 		fault.Sleep()
-		if fault.Err != nil {
-			if fault.PartialBytes > 0 && fault.PartialBytes < len(payload) {
-				// Simulated crash mid-append: persist a prefix of the
-				// payload for real, then report the failure.
-				payload = payload[:fault.PartialBytes]
-				injected = fault.Err
-			} else {
-				return fault.Err
-			}
+		torn := fault.PartialBytes > 0 && fault.PartialBytes < len(payload) &&
+			(fault.Err != nil || fault.Kill)
+		if torn {
+			// Simulated crash mid-append: persist a prefix of the payload
+			// for real, then report the failure (or die for real).
+			payload = payload[:fault.PartialBytes]
+			injected = fault.Err
+		}
+		switch {
+		case fault.Kill && !torn:
+			// Scheduled crash before any byte lands: the record is lost
+			// whole, the log stays clean.
+			faultinject.RaiseKill()
+		case fault.Kill && torn:
+			// Die only after the torn prefix is really in the file.
+			killAfterWrite = true
+		case fault.Err != nil && !torn:
+			return fault.Err
 		}
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -219,6 +229,11 @@ func appendFile(path string, durable bool, records ...Record) error {
 		return err
 	}
 	_, werr := f.Write(payload)
+	if killAfterWrite {
+		// A SIGKILL loses nothing already written into the page cache, so
+		// the torn prefix survives for the restarted process to recover.
+		faultinject.RaiseKill()
+	}
 	var serr error
 	if durable && werr == nil {
 		serr = f.Sync()

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"sort"
 	"sync"
 	"testing"
@@ -394,7 +395,14 @@ func TestBatchWindowCoalescesWarmRequests(t *testing.T) {
 // counters are monotonic across snapshots; the final totals must agree
 // with the traffic actually sent.
 func TestStatsUnderConcurrentLoad(t *testing.T) {
-	svc, server := newTestServer(t, Config{FitQueueDepth: 2})
+	// A history path plus an aggressive growth factor keeps the
+	// checkpointing counters moving under the same load, so their
+	// monotonicity is asserted under real concurrency, not at rest.
+	svc, server := newTestServer(t, Config{
+		FitQueueDepth:          2,
+		HistoryPath:            filepath.Join(t.TempDir(), "models.jsonl"),
+		CheckpointGrowthFactor: 2,
+	})
 
 	warm := testRequest()
 	if status, raw := postJSON(t, server.URL+"/predict", warm); status != http.StatusOK {
@@ -438,6 +446,19 @@ func TestStatsUnderConcurrentLoad(t *testing.T) {
 			if st.Hits < prev.Hits || st.Misses < prev.Misses || st.Fits < prev.Fits ||
 				st.Shed < prev.Shed || st.Requests < prev.Requests || st.Coalesced < prev.Coalesced {
 				scrapeErr <- fmt.Errorf("counters went backwards: %+v then %+v", prev, st)
+				return
+			}
+			if st.UptimeSeconds < prev.UptimeSeconds {
+				scrapeErr <- fmt.Errorf("uptime went backwards: %v then %v", prev.UptimeSeconds, st.UptimeSeconds)
+				return
+			}
+			if st.CheckpointsWritten < prev.CheckpointsWritten || st.Compactions < prev.Compactions ||
+				st.CheckpointFailures < prev.CheckpointFailures {
+				scrapeErr <- fmt.Errorf("checkpoint counters went backwards: %+v then %+v", prev, st)
+				return
+			}
+			if st.Draining {
+				scrapeErr <- fmt.Errorf("service reported draining with no drain begun")
 				return
 			}
 			prev = st
@@ -488,5 +509,16 @@ func TestStatsUnderConcurrentLoad(t *testing.T) {
 	}
 	if st.FitQueueDepth != 0 {
 		t.Fatalf("fit queue depth = %d after traffic drained, want 0", st.FitQueueDepth)
+	}
+	// Every completed fit checkpointed (the shed ones never fit at all),
+	// and the aggressive growth factor forced at least one compaction.
+	if st.CheckpointsWritten != st.Fits {
+		t.Fatalf("checkpoints_written = %d with %d fits completed", st.CheckpointsWritten, st.Fits)
+	}
+	if st.CheckpointFailures != 0 {
+		t.Fatalf("checkpoint_failures = %d on a writable volume", st.CheckpointFailures)
+	}
+	if st.Fits > 2 && st.Compactions < 1 {
+		t.Fatalf("compactions = %d after %d checkpoints under growth factor 2", st.Compactions, st.Fits)
 	}
 }

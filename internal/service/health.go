@@ -39,14 +39,20 @@ type Readiness struct {
 // appendable (when configured). Both probes are live — a dependency
 // restored by an operator flips the endpoint back without a restart.
 func (s *Service) Readiness() Readiness {
+	// Draining overrides every dependency probe: a draining process must
+	// answer NOT ready immediately and unambiguously so pollers pull it
+	// out of rotation before its listener closes.
+	if s.draining.Load() {
+		return Readiness{Status: "draining", Reasons: []string{"service is draining: shutting down"}}
+	}
 	r := Readiness{Ready: true, Status: "ready"}
 	if s.cfg.DatasetDir != "" {
 		if err := probeDirReadable(s.cfg.DatasetDir); err != nil {
 			r.Reasons = append(r.Reasons, fmt.Sprintf("dataset dir: %v", err))
 		}
 	}
-	if s.cfg.HistoryPath != "" {
-		if err := probeFileAppendable(s.cfg.HistoryPath); err != nil {
+	if hp := s.HistoryPath(); hp != "" {
+		if err := probeFileAppendable(hp); err != nil {
 			r.Reasons = append(r.Reasons, fmt.Sprintf("history file: %v", err))
 		}
 	}

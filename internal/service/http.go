@@ -81,9 +81,32 @@ func (s *Service) shedError() *Error {
 	}
 }
 
+// rejectIfDraining refuses new prediction work while the service drains:
+// 503 so the caller retries elsewhere, Connection: close so keep-alive
+// clients and load balancers stop routing to this process instead of
+// queueing more requests behind a closing listener. Observability
+// endpoints (/stats, /models, /healthz, /readyz) keep answering — the
+// drain supervisor itself polls them.
+func (s *Service) rejectIfDraining(w http.ResponseWriter) bool {
+	if !s.draining.Load() {
+		return false
+	}
+	s.drainRejected.Add(1)
+	w.Header().Set("Connection", "close")
+	writeServiceError(w, &Error{
+		Status:            http.StatusServiceUnavailable,
+		RetryAfterSeconds: s.retryAfterSeconds(),
+		Msg:               "service: draining: shutting down, retry against another replica",
+	})
+	return true
+}
+
 func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.rejectIfDraining(w) {
 		return
 	}
 	if !s.reqGate.tryAcquire() {
@@ -91,6 +114,8 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.reqGate.release()
+	s.activeWork.Add(1)
+	defer s.activeWork.Add(-1)
 	c := codecPool.Get().(*codec)
 	defer codecPool.Put(c)
 	var req PredictRequest
@@ -114,11 +139,16 @@ func (s *Service) handleBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if s.rejectIfDraining(w) {
+		return
+	}
 	if !s.reqGate.tryAcquire() {
 		writeServiceError(w, s.shedError())
 		return
 	}
 	defer s.reqGate.release()
+	s.activeWork.Add(1)
+	defer s.activeWork.Add(-1)
 	c := codecPool.Get().(*codec)
 	defer codecPool.Put(c)
 	var batch BatchRequest
@@ -218,6 +248,11 @@ func (s *Service) handleDatasetLoad(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
+	if s.rejectIfDraining(w) {
+		return
+	}
+	s.activeWork.Add(1)
+	defer s.activeWork.Add(-1)
 	rest := strings.TrimPrefix(r.URL.Path, "/datasets/")
 	name, ok := strings.CutSuffix(rest, "/load")
 	if !ok || name == "" || strings.Contains(name, "/") {

@@ -40,6 +40,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -137,8 +138,23 @@ type Config struct {
 	// HistoryPath, when set, names the history file the service persists
 	// models to; the readiness probe (Readiness) checks it stays
 	// appendable so operators learn about a read-only or full volume
-	// before a save silently starts failing.
+	// before a save silently starts failing. With checkpointing enabled
+	// (the default), every newly fitted model is appended here at fit
+	// time via the crash-safe durable append — a SIGKILL at any instant
+	// loses at most the fit in flight, never a fitted model.
 	HistoryPath string
+	// DisableCheckpoints turns off continuous model checkpointing: models
+	// then persist only through explicit SaveHistory calls (the clean-
+	// shutdown path), and a crash loses every fit since startup. The
+	// zero value — checkpointing on whenever HistoryPath is set — is the
+	// crash-consistent default.
+	DisableCheckpoints bool
+	// CheckpointGrowthFactor bounds checkpoint-log growth: when the log
+	// holds at least this many times the records it held after the last
+	// compaction (or warm start), a compaction pass rewrites it keeping
+	// only the newest record per model key. Zero selects 4; negative
+	// disables compaction (the log grows one record per fit, forever).
+	CheckpointGrowthFactor int
 	// MmapDatasets serves .snap registry datasets from mmap'd pages
 	// (graph.MmapSnapshot) instead of heap copies: loads are O(1), the
 	// kernel page cache shares one physical copy across processes, and a
@@ -193,6 +209,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryMaxDelay <= 0 {
 		c.RetryMaxDelay = time.Second
 	}
+	if c.CheckpointGrowthFactor == 0 {
+		c.CheckpointGrowthFactor = 4
+	}
 	if c.Cluster.Oracle == nil {
 		o := cluster.DefaultOracle()
 		c.Cluster.Oracle = &o
@@ -233,6 +252,37 @@ type Service struct {
 	breakers      breakerSet
 	ioRetries     atomic.Int64
 	tornRecovered atomic.Int64
+
+	// lifeCtx is the lifecycle context every detached cold fit derives
+	// its deadline from: HardStop cancels it, so a drain deadline passing
+	// actually stops in-flight fits instead of letting them outlive the
+	// server. draining gates new work (503 + Connection: close) once
+	// BeginDrain flips it; drainRejected counts the requests it refused.
+	lifeCtx       context.Context
+	lifeCancel    context.CancelFunc
+	draining      atomic.Bool
+	drainRejected atomic.Int64
+	// activeWork counts admitted prediction-work requests (predict, batch,
+	// dataset load) currently executing — the population a supervised
+	// drain waits for while the listener keeps answering 503s and probes.
+	activeWork atomic.Int64
+
+	// histMu serializes checkpoint appends, compactions and snapshot
+	// saves against each other and guards the mutable history path (an
+	// unreadable warm-start file diverts persistence to a sibling).
+	// ckptLog counts records in the checkpoint log; ckptBase is the count
+	// right after the last compaction/warm-start/save — the growth-factor
+	// trigger compares the two.
+	histMu   sync.Mutex
+	histPath string
+	ckptLog  int
+	ckptBase int
+
+	// checkpoints/checkpointFailures/compactions are the continuous-
+	// checkpointing counters /stats exposes.
+	checkpoints        atomic.Int64
+	checkpointFailures atomic.Int64
+	compactions        atomic.Int64
 }
 
 // New returns a Service with the given configuration.
@@ -240,17 +290,22 @@ func New(cfg Config) *Service {
 	cfg = cfg.withDefaults()
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%+v", *cfg.Cluster.Oracle)
+	lifeCtx, lifeCancel := context.WithCancel(context.Background())
 	return &Service{
-		cfg:      cfg,
-		models:   newCache[*core.Fitted](cfg.MaxModels),
-		graphs:   newCache[*graph.Graph](cfg.MaxGraphs),
-		fitPool:  parallel.NewPool(cfg.FitParallelism),
-		fitGate:  newGate(cfg.FitQueueDepth),
-		reqGate:  newGate(cfg.MaxInFlight),
-		coalesce: newCoalescer(cfg.BatchWindow),
-		oracleFP: h.Sum64(),
-		start:    time.Now(),
-		breakers: newBreakerSet(cfg.FitBreakerThreshold, cfg.FitBreakerCooldown),
+		cfg:        cfg,
+		models:     newCache[*core.Fitted](cfg.MaxModels),
+		graphs:     newCache[*graph.Graph](cfg.MaxGraphs),
+		fitPool:    parallel.NewPool(cfg.FitParallelism),
+		fitGate:    newGate(cfg.FitQueueDepth),
+		reqGate:    newGate(cfg.MaxInFlight),
+		coalesce:   newCoalescer(cfg.BatchWindow),
+		oracleFP:   h.Sum64(),
+		start:      time.Now(),
+		breakers:   newBreakerSet(cfg.FitBreakerThreshold, cfg.FitBreakerCooldown),
+		lifeCtx:    lifeCtx,
+		lifeCancel: lifeCancel,
+		histPath:   cfg.HistoryPath,
+		ckptBase:   1,
 	}
 }
 
@@ -615,6 +670,7 @@ func (s *Service) computePrediction(req PredictRequest, path, registryKey, key s
 			return nil, err
 		}
 		s.breakers.success(key)
+		s.checkpoint(key, fitted)
 		return fitted, nil
 	})
 	if err != nil {
@@ -680,8 +736,18 @@ func (s *Service) retryAfterSeconds() int {
 // abandoned request still warms the cache, but a fit that cannot finish
 // is bounded.
 func (s *Service) fit(req PredictRequest, g *graph.Graph) (*core.Fitted, error) {
+	// The deadline derives from the lifecycle context, not Background():
+	// fits are detached from request contexts, so the only way a drain
+	// deadline can stop one is HardStop canceling lifeCtx — which must
+	// abort the fit, free its pool slot, and leave no goroutine behind.
+	ctx, cancel := context.WithTimeout(s.lifeCtx, s.cfg.FitTimeout)
+	defer cancel()
 	if fault := faultinject.Fire(faultinject.PointServiceFit); fault != nil {
-		fault.Sleep()
+		// An injected stall must end the moment the lifecycle context is
+		// canceled, not after the scheduled delay — it stands in for a fit
+		// stuck in its sample pipeline during a drain.
+		fault.SleepContext(ctx)
+		fault.MaybeKill()
 		if fault.Err != nil {
 			return nil, fault.Err
 		}
@@ -700,15 +766,97 @@ func (s *Service) fit(req PredictRequest, g *graph.Graph) (*core.Fitted, error) 
 	s.fits.Add(1)
 	s.fitsInFlight.Add(1)
 	defer s.fitsInFlight.Add(-1)
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.FitTimeout)
-	defer cancel()
 	fitted, err := p.FitContext(ctx, alg, g)
-	if err != nil && errors.Is(err, context.DeadlineExceeded) {
+	switch {
+	case err == nil:
+		return fitted, nil
+	case s.lifeCtx.Err() != nil:
+		// Lifecycle cancellation is shutdown, not a deadline: the client
+		// should retry against a healthy replica, and fitTimeouts must not
+		// count it as a stuck fit.
+		return nil, &Error{Status: 503, Msg: "service: fit canceled: service shutting down"}
+	case errors.Is(err, context.DeadlineExceeded):
 		s.fitTimeouts.Add(1)
 		return nil, fmt.Errorf("service: fit exceeded the %v per-fit deadline: %w",
 			s.cfg.FitTimeout, err)
 	}
-	return fitted, err
+	return nil, err
+}
+
+// checkpoint appends one freshly fitted model to the history log — the
+// continuous-checkpointing path. The append is durable (fsync before
+// close), so once it returns a SIGKILL at any instant loses at most the
+// fit in flight, never a fitted model. When the log has grown past
+// CheckpointGrowthFactor times its post-compaction size, a crash-safe
+// compaction (temp + fsync + rename) rewrites it to the newest record per
+// key. Failures are counted, not fatal: a full or read-only volume
+// degrades persistence, not serving (the readiness probe surfaces it).
+func (s *Service) checkpoint(key string, fitted *core.Fitted) {
+	if s.cfg.DisableCheckpoints {
+		return
+	}
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	if s.histPath == "" {
+		return
+	}
+	if err := history.AppendFileSync(s.histPath, fitted.Record(key, key)); err != nil {
+		s.checkpointFailures.Add(1)
+		return
+	}
+	s.checkpoints.Add(1)
+	s.ckptLog++
+	if f := s.cfg.CheckpointGrowthFactor; f > 0 && s.ckptLog >= f*s.ckptBase {
+		kept, err := history.CompactFile(s.histPath)
+		if err != nil {
+			s.checkpointFailures.Add(1)
+			return
+		}
+		s.compactions.Add(1)
+		s.ckptLog = kept
+		if kept < 1 {
+			kept = 1
+		}
+		s.ckptBase = kept
+	}
+}
+
+// ActiveWork reports how many admitted prediction-work requests are
+// executing right now — what a supervised drain waits to reach zero.
+func (s *Service) ActiveWork() int64 { return s.activeWork.Load() }
+
+// BeginDrain flips the service into draining: new prediction work is
+// refused with 503 + Connection: close (load balancers move on), the
+// readiness probe reports draining, and in-flight work keeps running.
+// Idempotent; there is no way back — a draining process exits.
+func (s *Service) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Service) Draining() bool { return s.draining.Load() }
+
+// HardStop cancels the lifecycle context: every in-flight detached fit
+// derives its deadline from it, so fits abort promptly, release their
+// pool slots, and fail their waiting requests with 503. Called when the
+// drain deadline passes with work still in flight.
+func (s *Service) HardStop() { s.lifeCancel() }
+
+// HistoryPath reports where checkpoints and saves currently land (the
+// configured path unless RedirectHistory diverted it).
+func (s *Service) HistoryPath() string {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	return s.histPath
+}
+
+// RedirectHistory diverts future checkpoints and saves to path — the
+// recovery move when the configured history file is unreadable and must
+// be preserved for inspection rather than overwritten.
+func (s *Service) RedirectHistory(path string) {
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
+	s.histPath = path
+	s.ckptLog = 0
+	s.ckptBase = 1
 }
 
 // ModelInfo describes one cached model for the /models inventory.
@@ -788,6 +936,26 @@ type Stats struct {
 	// recovered (skipped, not fatal) during warm-start.
 	IORetries     int64 `json:"io_retries"`
 	TornRecovered int64 `json:"torn_records_recovered"`
+	// UptimeSeconds is seconds since the service was constructed —
+	// monotonically non-decreasing across successive /stats reads of one
+	// process, so a reset betrays an unnoticed restart.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Draining reports whether the service has begun supervised drain;
+	// DrainRejected counts the requests refused (503 + Connection: close)
+	// since it began.
+	Draining      bool  `json:"draining"`
+	DrainRejected int64 `json:"drain_rejected"`
+	// CheckpointsWritten counts fitted models durably appended to the
+	// history log at fit time; CheckpointFailures the appends/compactions
+	// that failed (persistence degraded, serving unaffected); Compactions
+	// the growth-triggered log rewrites.
+	CheckpointsWritten int64 `json:"checkpoints_written"`
+	CheckpointFailures int64 `json:"checkpoint_failures"`
+	Compactions        int64 `json:"compactions"`
+	// Goroutines and OpenFDs are process-level leak canaries the soak
+	// harness watches; OpenFDs is 0 where /proc is unavailable.
+	Goroutines int `json:"goroutines"`
+	OpenFDs    int `json:"open_fds"`
 }
 
 // Stats returns a snapshot of the cache, fit and pool counters.
@@ -816,6 +984,15 @@ func (s *Service) Stats() Stats {
 		BreakerFastFails: s.breakers.fastFails.Load(),
 		IORetries:        s.ioRetries.Load(),
 		TornRecovered:    s.tornRecovered.Load(),
+
+		UptimeSeconds:      time.Since(s.start).Seconds(),
+		Draining:           s.draining.Load(),
+		DrainRejected:      s.drainRejected.Load(),
+		CheckpointsWritten: s.checkpoints.Load(),
+		CheckpointFailures: s.checkpointFailures.Load(),
+		Compactions:        s.compactions.Load(),
+		Goroutines:         runtime.NumGoroutine(),
+		OpenFDs:            openFDs(),
 	}
 	if total := h + m; total > 0 {
 		st.HitRatio = float64(h) / float64(total)
@@ -826,12 +1003,29 @@ func (s *Service) Stats() Stats {
 // Uptime reports how long the service has been running.
 func (s *Service) Uptime() time.Duration { return time.Since(s.start) }
 
+// openFDs counts this process's open file descriptors via /proc — the
+// soak harness asserts it stays flat. Returns 0 where /proc is absent
+// (non-Linux), which the harness treats as "cannot check".
+func openFDs() int {
+	entries, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return 0
+	}
+	// ReadDir's own descriptor is open while counting; exclude it.
+	return len(entries) - 1
+}
+
 // SaveHistory archives every cached model as a history "model" record,
 // returning the number written. The snapshot replaces the file atomically
 // (temp file + rename), so a crash or full disk mid-write cannot destroy
 // the previous snapshot. Together with WarmFromHistory it gives the cache
 // crash/restart durability without re-running sample pipelines.
 func (s *Service) SaveHistory(path string) (int, error) {
+	// histMu serializes the snapshot against concurrent checkpoint appends
+	// and compactions: a checkpoint landing between snapshot and rename
+	// would be silently erased by the rewrite.
+	s.histMu.Lock()
+	defer s.histMu.Unlock()
 	entries := s.models.snapshot()
 	// Oldest first so a warm start re-inserts in LRU order.
 	sort.Slice(entries, func(i, j int) bool { return entries[i].added.Before(entries[j].added) })
@@ -860,6 +1054,14 @@ func (s *Service) SaveHistory(path string) (int, error) {
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return 0, err
+	}
+	if path == s.histPath {
+		// The rewrite is the new compaction baseline.
+		s.ckptLog = len(records)
+		s.ckptBase = len(records)
+		if s.ckptBase < 1 {
+			s.ckptBase = 1
+		}
 	}
 	return len(records), nil
 }
@@ -895,6 +1097,18 @@ func (s *Service) WarmFromHistory(path string) (warmed, skipped int, err error) 
 		s.models.put(rec.Model.Key, fitted)
 		warmed++
 	}
+	s.histMu.Lock()
+	if path == s.histPath {
+		// The warm-started log is the compaction baseline: growth is
+		// measured against what survived the restart, so a long-lived key
+		// set does not trigger a compaction storm on the first few fits.
+		s.ckptLog = len(records)
+		s.ckptBase = len(records)
+		if s.ckptBase < 1 {
+			s.ckptBase = 1
+		}
+	}
+	s.histMu.Unlock()
 	return warmed, skipped, nil
 }
 
