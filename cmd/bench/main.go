@@ -32,6 +32,11 @@
 //	service_sustained_rps warm-hit latency percentiles at a fixed offered
 //	                      load, uncontended vs under saturating cold
 //	                      traffic, plus the shed rate — the p99-ratio gate
+//	closed_loop           the feedback loop: prediction error against a
+//	                      known target runtime before /observe feedback
+//	                      and at every five-observation checkpoint after,
+//	                      plus the p50/p95 interval's coverage of the
+//	                      target — the error-shrink and coverage gates
 //	service_faults        the robustness tax, measured under deterministic
 //	                      fault injection: the 503 round-trip cost of a
 //	                      breaker-open fast-fail, and a flaky dataset
@@ -54,6 +59,8 @@
 //	bench -max-mmap-load-allocs 16         # CI gate: mmap snapshot-load allocs
 //	bench -max-e2e-allocs 150              # CI gate: serving allocs/request
 //	bench -max-p99-ratio 5                 # CI gate: warm p99 under cold saturation
+//	bench -min-error-shrink 2              # CI gate: closed-loop error reduction factor
+//	bench -min-p95-coverage 0.9            # CI gate: closed-loop interval calibration
 //	bench -summary BENCH_results.json      # markdown latency summary of an artifact
 //	PREDICT_BENCH_SCALE=0.08 bench         # smaller dataset stand-ins
 //
@@ -137,6 +144,12 @@ func printSummary(path string) error {
 			if sc.ShedRate != nil {
 				fmt.Printf("| cold traffic shed | %d of %d (%.0f%%) |\n", sc.ColdShed, sc.ColdOffered, *sc.ShedRate*100)
 			}
+		case "closed_loop":
+			fmt.Printf("| closed-loop error (before → after %d obs) | %.1f%% → %.2f%% (%.0fx) |\n",
+				sc.Observations, 100*sc.ErrorBefore, 100*sc.ErrorAfter, sc.ErrorShrink)
+			if sc.P95Coverage != nil {
+				fmt.Printf("| closed-loop p95 coverage | %.0f%% |\n", *sc.P95Coverage*100)
+			}
 		case "service_faults":
 			fmt.Printf("| breaker-open fast-fail | %.0f µs/req |\n", sc.NsPerOp/1e3)
 			if sc.RetryBaselineNsPerOp > 0 {
@@ -190,6 +203,17 @@ type Scenario struct {
 	ColdOffered          int      `json:"cold_offered,omitempty"`
 	ColdShed             int      `json:"cold_shed,omitempty"`
 	ShedRate             *float64 `json:"shed_rate,omitempty"`
+	// The closed_loop fields: relative prediction error against a known
+	// target runtime before any feedback and after the full observation
+	// stream, their ratio (the -min-error-shrink CI gate), and the
+	// fraction of post-threshold checkpoints whose p50/p95 interval
+	// covered the target (the -min-p95-coverage CI gate). Observations
+	// is the stream length.
+	ErrorBefore  float64  `json:"error_before,omitempty"`
+	ErrorAfter   float64  `json:"error_after,omitempty"`
+	ErrorShrink  float64  `json:"error_shrink,omitempty"`
+	P95Coverage  *float64 `json:"p95_coverage,omitempty"`
+	Observations int      `json:"observations,omitempty"`
 	// The service_faults fields. NsPerOp on that scenario is the 503
 	// round trip against an open circuit breaker (the fast-fail a client
 	// pays while a model key is known-broken). These record the
@@ -229,6 +253,8 @@ func main() {
 		maxMmAlloc  = flag.Float64("max-mmap-load-allocs", 0, "fail (exit 1) if mmap snapshot-load allocs per op exceed this (0 disables the gate; also fails if mmap is unsupported on the host)")
 		maxE2EAlloc = flag.Float64("max-e2e-allocs", 0, "fail (exit 1) if service_end_to_end allocs per request exceed this (0 disables the gate)")
 		maxP99Ratio = flag.Float64("max-p99-ratio", 0, "fail (exit 1) if the sustained-RPS warm p99 exceeds this multiple of the uncontended warm p99 (0 disables the gate)")
+		minShrink   = flag.Float64("min-error-shrink", 0, "fail (exit 1) if closed-loop feedback shrinks the prediction error by less than this factor (0 disables the gate)")
+		minP95Cov   = flag.Float64("min-p95-coverage", 0, "fail (exit 1) if fewer than this fraction of closed-loop checkpoints cover the target inside the p50/p95 interval (0 disables the gate)")
 		summary     = flag.String("summary", "", "print a markdown serving-latency summary of an existing artifact and exit")
 	)
 	flag.Parse()
@@ -247,6 +273,8 @@ func main() {
 		maxMmAlloc:  *maxMmAlloc,
 		maxE2EAlloc: *maxE2EAlloc,
 		maxP99Ratio: *maxP99Ratio,
+		minShrink:   *minShrink,
+		minP95Cov:   *minP95Cov,
 	}); err != nil {
 		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
 		os.Exit(1)
@@ -262,6 +290,8 @@ type gates struct {
 	maxMmAlloc  float64
 	maxE2EAlloc float64
 	maxP99Ratio float64
+	minShrink   float64
+	minP95Cov   float64
 }
 
 // measureOp runs op `runs` times and returns the best wall time plus the
@@ -402,6 +432,12 @@ func run(out, dataset string, flagScale float64, runs int, g8 gates) error {
 	}
 	res.add(*rpsScenario)
 
+	loopScenario, err := closedLoop(dataset, scale)
+	if err != nil {
+		return fmt.Errorf("closed_loop: %w", err)
+	}
+	res.add(*loopScenario)
+
 	// service_faults runs last: it is the only scenario that enables the
 	// fault injector, and everything above must measure the
 	// injection-free build the CI gates are defined on.
@@ -456,6 +492,14 @@ func run(out, dataset string, flagScale float64, runs int, g8 gates) error {
 	if g8.maxP99Ratio > 0 && rpsScenario.P99Ratio > g8.maxP99Ratio {
 		return fmt.Errorf("sustained warm p99 %.2fms is %.1fx the uncontended %.2fms, above the %.1fx gate",
 			rpsScenario.P99Millis, rpsScenario.P99Ratio, rpsScenario.UncontendedP99Millis, g8.maxP99Ratio)
+	}
+	if g8.minShrink > 0 && loopScenario.ErrorShrink < g8.minShrink {
+		return fmt.Errorf("closed-loop feedback shrank the error %.1fx (%.3f -> %.3f), below the %.1fx gate",
+			loopScenario.ErrorShrink, loopScenario.ErrorBefore, loopScenario.ErrorAfter, g8.minShrink)
+	}
+	if g8.minP95Cov > 0 && *loopScenario.P95Coverage < g8.minP95Cov {
+		return fmt.Errorf("closed-loop p50/p95 interval covered the target at %.0f%% of checkpoints, below the %.0f%% gate",
+			100**loopScenario.P95Coverage, 100*g8.minP95Cov)
 	}
 	return nil
 }
@@ -1325,6 +1369,104 @@ func serviceSustainedRPS(dataset string, scale float64) (*Scenario, error) {
 		ColdOffered:          int(coldOffered.Load()),
 		ColdShed:             int(coldShed.Load()),
 		ShedRate:             &shedRate,
+	}, nil
+}
+
+// closedLoop drives the feedback loop end to end in process: a cold fit's
+// prediction error against a known target runtime (30% above the sample
+// fit's estimate), then the blended prediction's error as a deterministic
+// observation stream accrues through Observe. The offsets cycle
+// symmetrically around the target (their mean is exactly 1.0 every five
+// observations), so at each five-observation checkpoint the remaining
+// error is purely the blend's sample-row weight — it must shrink
+// strictly as observations accrue, and that shrink is enforced here the
+// way cold_fit_parallel enforces coefficient identity. The scenario also
+// tracks interval calibration: at every checkpoint the target must fall
+// inside the prediction's central interval (p95 on the high side);
+// P95Coverage is the fraction of checkpoints where it did. NsPerOp is
+// one observe+predict feedback round. The -min-error-shrink and
+// -min-p95-coverage CI gates are defined on this scenario.
+func closedLoop(dataset string, scale float64) (*Scenario, error) {
+	svc := service.New(service.Config{})
+	ctx := context.Background()
+	req := warmKeyRequests(dataset, scale)[0]
+
+	base, err := svc.Predict(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if base.BlendRegime != core.RegimeExtrapolation {
+		return nil, fmt.Errorf("cold prediction regime %q, want %q", base.BlendRegime, core.RegimeExtrapolation)
+	}
+
+	// The "true" runtime the sample fit misestimates by 30%.
+	target := base.SuperstepSeconds * 1.30
+	offsets := []float64{0.98, 1.02, 0.99, 1.01, 1.00}
+	const nObs = 30
+	relErr := func(pred float64) float64 { return math.Abs(pred-target) / target }
+	errBefore := relErr(base.SuperstepSeconds)
+
+	var checkpointErrs []float64
+	covered, checkpoints := 0, 0
+	totalNs, allocs, bytes_, err := measureOp(1, func() error {
+		for i := 0; i < nObs; i++ {
+			if _, err := svc.Observe(ctx, service.ObserveRequest{
+				ModelKey:      base.ModelKey,
+				ActualSeconds: target * offsets[i%len(offsets)],
+			}); err != nil {
+				return err
+			}
+			resp, err := svc.Predict(ctx, req)
+			if err != nil {
+				return err
+			}
+			if (i+1)%len(offsets) != 0 {
+				continue
+			}
+			if resp.BlendRegime != core.RegimeInterpolation {
+				return fmt.Errorf("%d observations in: regime %q, want %q",
+					i+1, resp.BlendRegime, core.RegimeInterpolation)
+			}
+			checkpointErrs = append(checkpointErrs, relErr(resp.SuperstepSeconds))
+			checkpoints++
+			lo := resp.SuperstepSeconds - (resp.P95Seconds - resp.SuperstepSeconds)
+			if target >= lo && target <= resp.P95Seconds {
+				covered++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	prev := errBefore
+	for i, e := range checkpointErrs {
+		if e >= prev {
+			return nil, fmt.Errorf("closed-loop error did not shrink at checkpoint %d (%d observations): %.5f -> %.5f",
+				i, (i+1)*len(offsets), prev, e)
+		}
+		prev = e
+	}
+	errAfter := checkpointErrs[len(checkpointErrs)-1]
+	shrink := math.MaxFloat64
+	if errAfter > 0 {
+		shrink = errBefore / errAfter
+	}
+	coverage := float64(covered) / float64(checkpoints)
+	n := float64(nObs)
+	return &Scenario{
+		Name:         "closed_loop",
+		Runs:         1,
+		NsPerOp:      totalNs / n,
+		OpsPerS:      n / (totalNs / 1e9),
+		AllocsPerOp:  allocs / n,
+		BytesPerOp:   bytes_ / n,
+		ErrorBefore:  errBefore,
+		ErrorAfter:   errAfter,
+		ErrorShrink:  shrink,
+		P95Coverage:  &coverage,
+		Observations: nObs,
 	}, nil
 }
 

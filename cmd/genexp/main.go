@@ -8,7 +8,7 @@
 //	genexp -exp table3 -scale 0.5 -v
 //
 // Experiments: fig4 fig5 fig6 fig7 fig8 fig9 table2 table3 bounds memory
-// ablations all.
+// closedloop ablations all.
 package main
 
 import (
@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: fig4 fig5 fig6 fig7 fig8 fig9 cc nh table2 table3 bounds memory ablations all")
+		exp     = flag.String("exp", "all", "experiment id: fig4 fig5 fig6 fig7 fig8 fig9 cc nh table2 table3 bounds memory closedloop ablations all")
 		scale   = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = default stand-in sizes)")
 		workers = flag.Int("workers", 0, "BSP workers (0 = default)")
 		seed    = flag.Uint64("seed", 0, "master seed (0 = default)")
@@ -112,6 +112,8 @@ func run(lab *experiments.Lab, exp string, w io.Writer) error {
 		return table(lab.UpperBounds())
 	case "memory":
 		return table(lab.MemoryLimits())
+	case "closedloop":
+		return table(lab.ClosedLoop())
 	case "ablations":
 		for _, f := range []func() (*experiments.TableResult, error){
 			lab.AblationNoTransform,
@@ -127,7 +129,7 @@ func run(lab *experiments.Lab, exp string, w io.Writer) error {
 		return nil
 	case "all":
 		for _, id := range []string{"table2", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-			"cc", "nh", "bounds", "table3", "memory", "ablations"} {
+			"cc", "nh", "bounds", "table3", "memory", "closedloop", "ablations"} {
 			if err := run(lab, id, w); err != nil {
 				return fmt.Errorf("%s: %w", id, err)
 			}

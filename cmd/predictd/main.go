@@ -17,11 +17,13 @@
 //	predictd -retry-attempts 3 -retry-base-delay 50ms -retry-max-delay 1s  # transient dataset I/O
 //	predictd -pprof-addr 127.0.0.1:6060             # live profiling (off by default)
 //	predictd -drain-timeout 10s                     # SIGTERM drain deadline before fits are canceled
+//	predictd -blend-threshold 5                     # observations before closed-loop refits kick in
 //
-// API (JSON):
+// API (JSON; docs/API.md is the full reference):
 //
 //	POST /predict               {"dataset":"Wiki","algorithm":"PR","ratio":0.1}
 //	POST /predict/batch         {"requests":[{...},{...}]}
+//	POST /observe               {"model_key":"...","actual_seconds":123.4}  closed-loop feedback
 //	GET  /datasets              registry inventory (with -dataset-dir)
 //	POST /datasets/{name}/load  pre-load a registry dataset
 //	GET  /models
@@ -74,6 +76,7 @@ func main() {
 		drainTO   = flag.Duration("drain-timeout", 10*time.Second, "SIGTERM drain deadline: how long in-flight requests get before their fits are canceled")
 		ckptOff   = flag.Bool("no-checkpoints", false, "disable continuous model checkpointing; models then persist only at clean shutdown")
 		ckptGrow  = flag.Int("checkpoint-growth-factor", 0, "compact the checkpoint log when it grows this many times its post-compaction size (0 = default 4, <0 = never compact)")
+		blendK    = flag.Int("blend-threshold", 0, "observed runtimes per model key before predictions switch to the observation-weighted refit (0 = default 5)")
 	)
 	flag.Parse()
 
@@ -115,6 +118,7 @@ func main() {
 		HistoryPath:            *histFile,
 		DisableCheckpoints:     *ckptOff,
 		CheckpointGrowthFactor: *ckptGrow,
+		BlendThreshold:         *blendK,
 	})
 
 	// Warm the cache from history. If the warm-up could not read the whole

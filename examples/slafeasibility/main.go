@@ -5,8 +5,10 @@
 //	 guaranteeing user specified SLAs?"
 //
 // The example predicts the runtime of a three-job analytics workload on
-// the UK web-graph stand-in, answers the feasibility question against an
-// SLA deadline, then verifies the answer with actual runs.
+// the UK web-graph stand-in, answers the feasibility question
+// probabilistically — each prediction carries a p50/p95 runtime interval,
+// so the workload's chance of meeting the deadline is a number, not a
+// yes/no — then verifies the answer with actual runs.
 //
 //	go run ./examples/slafeasibility
 package main
@@ -14,6 +16,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"math"
 
 	"predict"
 )
@@ -47,7 +50,7 @@ func main() {
 		TrainingRatios: []float64{0.05, 0.10, 0.15, 0.20},
 	})
 
-	var totalPredicted, planningCost float64
+	var totalPredicted, totalVariance, planningCost float64
 	preds := make([]*predict.Prediction, len(workload))
 	for i, job := range workload {
 		pred, err := p.Predict(job.alg, g)
@@ -56,15 +59,28 @@ func main() {
 		}
 		preds[i] = pred
 		totalPredicted += pred.SuperstepSeconds
+		totalVariance += pred.Runtime.StdDevSeconds * pred.Runtime.StdDevSeconds
 		planningCost += pred.SampleRunSeconds
-		fmt.Printf("%-28s predicted %7.0f s in %2d iterations (model R2 %.2f)\n",
-			job.name, pred.SuperstepSeconds, pred.Iterations, pred.Model.R2())
+		fmt.Printf("%-28s predicted %7.0f s (p95 %7.0f s) in %2d iterations (model R2 %.2f)\n",
+			job.name, pred.SuperstepSeconds, pred.Runtime.P95Seconds,
+			pred.Iterations, pred.Model.R2())
 	}
 
+	// The jobs run back to back and their errors are independent, so the
+	// workload's distribution is the sum of means with summed variances.
+	workloadDist := predict.Distribution{
+		MeanSeconds:   totalPredicted,
+		StdDevSeconds: math.Sqrt(totalVariance),
+	}
+	pMeet := workloadDist.ProbabilityWithin(slaSeconds)
 	fmt.Printf("\nworkload prediction: %.0f s against an SLA of %.0f s\n", totalPredicted, slaSeconds)
-	if totalPredicted <= slaSeconds {
+	fmt.Printf("probability of meeting the SLA: %.1f%%\n", 100*pMeet)
+	switch {
+	case pMeet >= 0.95:
 		fmt.Println("=> FEASIBLE: admit the workload")
-	} else {
+	case pMeet >= 0.5:
+		fmt.Println("=> MARGINAL: admit only if the SLA tolerates occasional misses")
+	default:
 		fmt.Println("=> INFEASIBLE: renegotiate the SLA or add workers")
 	}
 	fmt.Printf("(planning itself cost %.0f simulated seconds of sample runs)\n\n", planningCost)

@@ -233,26 +233,9 @@ func (f *Fitted) Extrapolate(g *graph.Graph, workers int) (*Prediction, error) {
 	if workers <= 0 {
 		workers = f.SampleWorkers
 	}
-
-	// Extrapolation factors from full-graph and sample sizes.
-	scale, err := features.NewScale(g.NumVertices(), f.SampleVertices,
-		g.NumEdges(), f.SampleEdges)
+	scale, shareFactor, shareG, err := f.extrapolationScale(g, workers)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
-	}
-	if f.VerticesOnly {
-		scale = scale.VerticesOnly()
-	}
-
-	// Critical-path adjustment: move vectors from the sample graph's
-	// critical share to the full graph's (both known before execution).
-	// Both shares are computed on the *input* graphs so they stay
-	// consistent for algorithms that internally symmetrize (the
-	// symmetrization distorts both shares equally, so the ratio holds).
-	shareFactor := 1.0
-	shareG := bsp.CriticalShareOf(g, workers)
-	if f.Mode == features.ModeCriticalShare && f.SampleCriticalShare > 0 && shareG > 0 {
-		shareFactor = shareG / f.SampleCriticalShare
+		return nil, err
 	}
 
 	// Per-iteration prediction on extrapolated features.
@@ -277,4 +260,34 @@ func (f *Fitted) Extrapolate(g *graph.Graph, workers int) (*Prediction, error) {
 		}
 	}
 	return pred, nil
+}
+
+// extrapolationScale computes the extrapolation inputs shared by
+// Extrapolate and ExtrapolateBlended: the eV/eE scale from sample to g,
+// the §3.4 critical-path share rescaling factor, and g's structural
+// critical share at the given worker count. Both callers must price
+// feature vectors through identical arithmetic, so the computation lives
+// in one place.
+func (f *Fitted) extrapolationScale(g *graph.Graph, workers int) (scale features.Scale, shareFactor, shareG float64, err error) {
+	// Extrapolation factors from full-graph and sample sizes.
+	scale, err = features.NewScale(g.NumVertices(), f.SampleVertices,
+		g.NumEdges(), f.SampleEdges)
+	if err != nil {
+		return features.Scale{}, 0, 0, fmt.Errorf("core: %w", err)
+	}
+	if f.VerticesOnly {
+		scale = scale.VerticesOnly()
+	}
+
+	// Critical-path adjustment: move vectors from the sample graph's
+	// critical share to the full graph's (both known before execution).
+	// Both shares are computed on the *input* graphs so they stay
+	// consistent for algorithms that internally symmetrize (the
+	// symmetrization distorts both shares equally, so the ratio holds).
+	shareFactor = 1.0
+	shareG = bsp.CriticalShareOf(g, workers)
+	if f.Mode == features.ModeCriticalShare && f.SampleCriticalShare > 0 && shareG > 0 {
+		shareFactor = shareG / f.SampleCriticalShare
+	}
+	return scale, shareFactor, shareG, nil
 }

@@ -104,18 +104,24 @@ type Prediction struct {
 	// edge shares on the sample and full graph.
 	CriticalShareSample float64
 	CriticalShareFull   float64
+	// Runtime is the prediction's uncertainty distribution (mean, spread,
+	// p50/p95 and blend regime). It is populated by ExtrapolateBlended;
+	// plain Extrapolate leaves it zero.
+	Runtime Distribution
 }
 
 // Predict runs the full pipeline for alg on g: the expensive half (Fit:
 // sample, profile, train) followed by the cheap half (Extrapolate: scale
-// features to g and price them). Callers that issue repeated or what-if
-// queries should hold on to Fit's result and call Extrapolate directly.
+// features to g and price them). The returned Prediction carries a
+// populated Runtime distribution (extrapolation regime: no observations).
+// Callers that issue repeated or what-if queries should hold on to Fit's
+// result and call Extrapolate or ExtrapolateBlended directly.
 func (p *Predictor) Predict(alg algorithms.Algorithm, g *graph.Graph) (*Prediction, error) {
 	fitted, err := p.Fit(alg, g)
 	if err != nil {
 		return nil, err
 	}
-	return fitted.Extrapolate(g, 0)
+	return fitted.ExtrapolateBlended(g, 0, nil, 0)
 }
 
 // SampleVertexRatio returns the achieved |V_S|/|V_G| of the sample run.

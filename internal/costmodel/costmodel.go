@@ -93,6 +93,37 @@ func (m *Model) PredictIteration(v features.Vector) float64 {
 // paper's per-model fit statistic (§5.2 reports R² per dataset).
 func (m *Model) R2() float64 { return m.fit.R2 }
 
+// ResidualVariance returns the unbiased per-iteration noise variance of
+// the underlying regression (SSE over residual degrees of freedom) — the
+// starting point of a prediction interval: summed over the predicted
+// iteration count it bounds how far a point estimate should be trusted.
+func (m *Model) ResidualVariance() float64 { return m.fit.ResidualVariance }
+
+// Refit refits the model's coefficients on new training data while
+// keeping the selected feature subset fixed. This is the closed-loop
+// interpolation path: observed runtimes re-weight the coefficients of the
+// structure forward selection chose from sample runs, rather than
+// re-running selection (whose greedy path is sensitive to single added
+// rows and would make feedback non-monotone).
+func (m *Model) Refit(runs []TrainingRun) (*Model, error) {
+	var X [][]float64
+	var y []float64
+	for _, r := range runs {
+		for _, it := range r.Iters {
+			X = append(X, it.Vector)
+			y = append(y, it.Seconds)
+		}
+	}
+	if len(X) == 0 {
+		return nil, ErrNoTrainingData
+	}
+	fit, err := regress.OLSSubset(X, y, m.fit.FeatureIdx)
+	if err != nil {
+		return nil, fmt.Errorf("costmodel: refitting: %w", err)
+	}
+	return &Model{fit: fit, pool: m.pool}, nil
+}
+
 // SelectedFeatures lists the features forward selection kept, in selection
 // order.
 func (m *Model) SelectedFeatures() []features.Name {

@@ -221,3 +221,38 @@ func TestRenderTableAlignment(t *testing.T) {
 		t.Error("row not rendered")
 	}
 }
+
+func TestClosedLoopTiny(t *testing.T) {
+	tab, err := tinyLab().ClosedLoop()
+	if err != nil {
+		t.Fatalf("ClosedLoop: %v", err)
+	}
+	// Rows: observation prefixes 0, 1, 3, 5, 8, 16, 32, 64.
+	if len(tab.Rows) != 8 {
+		t.Fatalf("%d rows, want 8 observation prefixes", len(tab.Rows))
+	}
+	// Below the threshold the sample fit answers untouched: identical
+	// regime, identical prediction. At and past it the refit answers.
+	for _, row := range tab.Rows[:3] {
+		if row[1] != "extrapolation" {
+			t.Errorf("%s observations: regime %q, want extrapolation", row[0], row[1])
+		}
+		if row[2] != tab.Rows[0][2] {
+			t.Errorf("%s observations: prediction %s moved without enough feedback (want %s)",
+				row[0], row[2], tab.Rows[0][2])
+		}
+	}
+	for _, row := range tab.Rows[3:] {
+		if row[1] != "interpolation" {
+			t.Errorf("%s observations: regime %q, want interpolation", row[0], row[1])
+		}
+	}
+	// The interpolation-regime interval must cover the actual runtime:
+	// the stream is ±2% noise around the truth, and the refit tracks it.
+	if got := tab.Rows[len(tab.Rows)-1][6]; got != "yes" {
+		t.Errorf("64 observations: interval does not cover the actual runtime")
+	}
+	if len(tab.Notes) == 0 {
+		t.Error("ClosedLoop: no notes (seed and threshold provenance missing)")
+	}
+}

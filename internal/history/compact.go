@@ -15,24 +15,47 @@ import (
 	"predict/internal/faultinject"
 )
 
+// MaxObservationsPerKey bounds how many "observation" records per model
+// key survive a compaction (the newest win). The bound matches the
+// service's in-memory observation window: older observations have already
+// shaped the blend as much as they ever will, and an unbounded feedback
+// stream would make the log grow per *request* instead of per fit —
+// exactly the unbounded growth compaction exists to prevent.
+const MaxObservationsPerKey = 64
+
 // CompactRecords returns the log's live suffix: for each model key, only
-// the newest record survives, holding its last position in the log so a
-// warm start replays insertions in the same order the uncompacted log
-// would. Records that are not model records (plain profiled runs, which
-// TrainingRunsFor still trains on) are kept verbatim in place — they are
-// training data, not cache generations, and compaction must never drop
-// data it cannot reconstruct.
+// the newest model record survives, holding its last position in the log
+// so a warm start replays insertions in the same order the uncompacted
+// log would. Observation records are capped at the newest
+// MaxObservationsPerKey per model key, kept in log order. Records that
+// are neither (plain profiled runs, which TrainingRunsFor still trains
+// on) are kept verbatim in place — they are training data, not cache
+// generations, and compaction must never drop data it cannot reconstruct.
 func CompactRecords(records []Record) []Record {
 	last := make(map[string]int, len(records))
+	obsSeen := map[string]int{}
 	for i, r := range records {
 		if r.Model != nil {
 			last[r.Model.Key] = i
 		}
+		if r.Observation != nil {
+			obsSeen[r.Observation.ModelKey]++
+		}
 	}
+	// An observation survives when fewer than MaxObservationsPerKey of its
+	// key follow it — i.e. the newest window, in original order.
+	obsAfter := make(map[string]int, len(obsSeen))
 	out := make([]Record, 0, len(last))
 	for i, r := range records {
 		if r.Model != nil && last[r.Model.Key] != i {
 			continue
+		}
+		if r.Observation != nil {
+			k := r.Observation.ModelKey
+			obsAfter[k]++
+			if obsSeen[k]-obsAfter[k] >= MaxObservationsPerKey {
+				continue
+			}
 		}
 		out = append(out, r)
 	}

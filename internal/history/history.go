@@ -32,7 +32,9 @@ type Record struct {
 	Algorithm string `json:"algorithm"`
 	// Dataset labels the input (free-form, e.g. "UK2002-sim scale=1").
 	Dataset string `json:"dataset"`
-	// Kind distinguishes "actual" runs from "sample" runs.
+	// Kind distinguishes "actual" runs from "sample" runs; "model"
+	// records carry a fitted cache entry and "observation" records carry
+	// one observed actual runtime fed back through POST /observe.
 	Kind string `json:"kind"`
 	// FeatureNames fixes the column order of Iterations vectors, guarding
 	// against pool changes between writer and reader versions.
@@ -46,6 +48,55 @@ type Record struct {
 	// (cheap) while Model restores the sample-scale context the expensive
 	// sample runs produced. Absent on plain run records.
 	Model *ModelMeta `json:"model,omitempty"`
+	// Observation carries one observed actual runtime (kind
+	// "observation"), keyed to the model key whose prediction it grades.
+	// Absent on every other record kind.
+	Observation *ObservationMeta `json:"observation,omitempty"`
+}
+
+// KindObservation is the Record.Kind of observed-runtime feedback records.
+const KindObservation = "observation"
+
+// ObservationMeta is the payload of one "observation" record: an actual
+// runtime reported back for a prediction, keyed to the model that
+// produced it. Observation records ride the same fsync'd checkpoint
+// append and compaction log as "model" records, so the feedback a blended
+// estimator depends on survives a crash exactly as far as the models do.
+type ObservationMeta struct {
+	// ModelKey is the service's canonical cache key of the model whose
+	// prediction this observation grades.
+	ModelKey string `json:"model_key"`
+	// ActualSeconds is the observed superstep-phase runtime.
+	ActualSeconds float64 `json:"actual_seconds"`
+	// Workers is the worker count the observed run executed on (zero when
+	// the reporter did not say).
+	Workers int `json:"workers,omitempty"`
+}
+
+// NewObservation builds an "observation" record for a model key.
+func NewObservation(modelKey string, actualSeconds float64, workers int) Record {
+	return Record{
+		Kind: KindObservation,
+		Observation: &ObservationMeta{
+			ModelKey:      modelKey,
+			ActualSeconds: actualSeconds,
+			Workers:       workers,
+		},
+	}
+}
+
+// ObservationsByKey collects the observed runtimes of every "observation"
+// record, grouped by model key in log order — the per-key feedback stream
+// a blended estimator consumes.
+func ObservationsByKey(records []Record) map[string][]float64 {
+	out := map[string][]float64{}
+	for _, r := range records {
+		if r.Observation == nil {
+			continue
+		}
+		out[r.Observation.ModelKey] = append(out[r.Observation.ModelKey], r.Observation.ActualSeconds)
+	}
+	return out
 }
 
 // ModelMeta is the extrapolation context of one fitted cost model — the
@@ -261,6 +312,8 @@ type TornTail struct {
 	Err error
 }
 
+// String renders the tear for warm-up logs: where it begins, how many
+// bytes were discarded, and the decode error the fragment produced.
 func (t *TornTail) String() string {
 	return fmt.Sprintf("torn trailing record at offset %d (%d bytes): %v", t.Offset, t.Bytes, t.Err)
 }

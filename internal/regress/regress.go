@@ -26,6 +26,11 @@ type Fit struct {
 	// R2 and AdjustedR2 measure fit quality on the training data.
 	R2         float64
 	AdjustedR2 float64
+	// ResidualVariance is the unbiased estimate of the noise variance
+	// around the fitted line: SSE / (n - p - 1), with the denominator
+	// clamped at 1 when the model consumes every degree of freedom. It is
+	// the per-observation uncertainty a prediction interval starts from.
+	ResidualVariance float64
 }
 
 // Predict evaluates the model on a full feature vector (all columns, not
@@ -110,7 +115,7 @@ func OLSSubset(X [][]float64, y []float64, cols []int) (*Fit, error) {
 		Coef:       b[1:],
 		Intercept:  b[0],
 	}
-	fit.R2, fit.AdjustedR2 = rsquared(X, y, fit)
+	fit.R2, fit.AdjustedR2, fit.ResidualVariance = rsquared(X, y, fit)
 	return fit, nil
 }
 
@@ -162,7 +167,7 @@ func solve(A [][]float64, c []float64) ([]float64, error) {
 	return x, nil
 }
 
-func rsquared(X [][]float64, y []float64, fit *Fit) (r2, adj float64) {
+func rsquared(X [][]float64, y []float64, fit *Fit) (r2, adj, resVar float64) {
 	n := len(y)
 	var mean float64
 	for _, v := range y {
@@ -177,20 +182,25 @@ func rsquared(X [][]float64, y []float64, fit *Fit) (r2, adj float64) {
 		t := y[i] - mean
 		ssTot += t * t
 	}
+	p := len(fit.Coef)
+	df := n - p - 1
+	if df < 1 {
+		df = 1
+	}
+	resVar = ssRes / float64(df)
 	if ssTot == 0 {
 		if ssRes == 0 {
-			return 1, 1
+			return 1, 1, resVar
 		}
-		return 0, 0
+		return 0, 0, resVar
 	}
 	r2 = 1 - ssRes/ssTot
-	p := len(fit.Coef)
 	if n-p-1 > 0 {
 		adj = 1 - (1-r2)*float64(n-1)/float64(n-p-1)
 	} else {
 		adj = r2
 	}
-	return r2, adj
+	return r2, adj, resVar
 }
 
 // ForwardSelect performs sequential forward selection: starting from the

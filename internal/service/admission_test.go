@@ -103,6 +103,14 @@ func TestWriteServiceErrorStatusMapping(t *testing.T) {
 			wantStatus: http.StatusInternalServerError,
 			wantMsg:    "boom",
 		},
+		{
+			// The /observe contract: an unknown model key is a typed 404,
+			// never a silently created orphan history record.
+			name:       "observe unknown model key is a 404",
+			err:        observeUnknownKeyError(t),
+			wantStatus: http.StatusNotFound,
+			wantMsg:    `service: unknown model key "no-such-key": observations attach to fitted models (predict first)`,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -37,10 +37,12 @@ type BatchResponse struct {
 	ElapsedMillis float64 `json:"elapsed_ms"`
 }
 
-// Handler returns the service's HTTP API:
+// Handler returns the service's HTTP API (docs/API.md is the full
+// reference):
 //
 //	POST /predict               PredictRequest  -> PredictResponse
 //	POST /predict/batch         BatchRequest    -> BatchResponse
+//	POST /observe               ObserveRequest  -> ObserveResponse (feedback)
 //	GET  /models                -> {"models": [ModelInfo...]}
 //	GET  /datasets              -> {"datasets": [DatasetInfo...]} (registry)
 //	POST /datasets/{name}/load  -> load a registry dataset into the cache
@@ -51,6 +53,7 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/predict", s.handlePredict)
 	mux.HandleFunc("/predict/batch", s.handleBatch)
+	mux.HandleFunc("/observe", s.handleObserve)
 	mux.HandleFunc("/models", s.handleModels)
 	mux.HandleFunc("/datasets", s.handleDatasets)
 	mux.HandleFunc("/datasets/", s.handleDatasetLoad)
@@ -128,6 +131,41 @@ func (s *Service) handlePredict(w http.ResponseWriter, r *http.Request) {
 	resp := respPool.Get().(*PredictResponse)
 	defer respPool.Put(resp)
 	if err := s.predictInto(ctx, req, resp); err != nil {
+		c.writeServiceError(w, err)
+		return
+	}
+	c.writeJSON(w, http.StatusOK, resp)
+}
+
+// handleObserve serves POST /observe: record one observed actual runtime
+// against a cached model key (the closed-loop feedback path). Unknown
+// keys are 404s — see Service.Observe.
+func (s *Service) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	if s.rejectIfDraining(w) {
+		return
+	}
+	if !s.reqGate.tryAcquire() {
+		writeServiceError(w, s.shedError())
+		return
+	}
+	defer s.reqGate.release()
+	s.activeWork.Add(1)
+	defer s.activeWork.Add(-1)
+	c := codecPool.Get().(*codec)
+	defer codecPool.Put(c)
+	var req ObserveRequest
+	if err := c.decodeJSON(w, r, &req); err != nil {
+		c.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.requestContext(r, 0)
+	defer cancel()
+	resp, err := s.Observe(ctx, req)
+	if err != nil {
 		c.writeServiceError(w, err)
 		return
 	}

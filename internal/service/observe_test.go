@@ -1,0 +1,210 @@
+package service
+
+import (
+	"context"
+	"math"
+	"net/http"
+	"path/filepath"
+	"testing"
+)
+
+// observeUnknownKeyError produces the live error Observe answers for a
+// key no fitted model carries, for the error-to-HTTP mapping table.
+func observeUnknownKeyError(t *testing.T) error {
+	t.Helper()
+	svc := New(Config{})
+	_, err := svc.Observe(context.Background(), ObserveRequest{
+		ModelKey: "no-such-key", ActualSeconds: 1,
+	})
+	if err == nil {
+		t.Fatal("Observe(unknown key) did not fail")
+	}
+	return err
+}
+
+// TestObserveValidation pins the /observe request contract: missing or
+// malformed fields are 400s, an unknown model key is a 404, and none of
+// them leave a record behind.
+func TestObserveValidation(t *testing.T) {
+	svc, server := newTestServer(t, Config{})
+	cases := []struct {
+		name string
+		req  any
+		want int
+	}{
+		{"missing model key", ObserveRequest{ActualSeconds: 1}, http.StatusBadRequest},
+		{"zero actual seconds", ObserveRequest{ModelKey: "k", ActualSeconds: 0}, http.StatusBadRequest},
+		{"negative actual seconds", ObserveRequest{ModelKey: "k", ActualSeconds: -3}, http.StatusBadRequest},
+		{"negative workers", ObserveRequest{ModelKey: "k", ActualSeconds: 1, Workers: -1}, http.StatusBadRequest},
+		{"unknown field", `{"model_key":"k","actual":1}`, http.StatusBadRequest},
+		{"unknown model key", ObserveRequest{ModelKey: "k", ActualSeconds: 1}, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, _ := postJSON(t, server.URL+"/observe", tc.req)
+			if status != tc.want {
+				t.Fatalf("HTTP %d, want %d", status, tc.want)
+			}
+		})
+	}
+	if got := svc.Stats().Observations; got != 0 {
+		t.Fatalf("rejected observations were recorded: %d", got)
+	}
+}
+
+// TestObserveClosedLoop drives the feedback loop over HTTP: before the
+// threshold, predictions stay in the extrapolation regime with the
+// sample-fit estimate untouched; at the threshold the interpolation
+// regime answers, strictly closer to the observed runtimes, with the
+// interval and /stats bookkeeping following along.
+func TestObserveClosedLoop(t *testing.T) {
+	svc, server := newTestServer(t, Config{})
+
+	status, raw := postJSON(t, server.URL+"/predict", testRequest())
+	if status != http.StatusOK {
+		t.Fatalf("cold predict: HTTP %d (%v)", status, raw)
+	}
+	base := decodePrediction(t, raw)
+	if base.BlendRegime != "extrapolation" || base.Observations != 0 {
+		t.Fatalf("cold prediction regime %q/%d, want extrapolation/0", base.BlendRegime, base.Observations)
+	}
+	if base.P50Seconds != base.SuperstepSeconds || base.P95Seconds < base.P50Seconds {
+		t.Fatalf("interval p50=%v p95=%v around mean %v is malformed",
+			base.P50Seconds, base.P95Seconds, base.SuperstepSeconds)
+	}
+
+	// Feed back runtimes clustered 30% above the estimate.
+	target := base.SuperstepSeconds * 1.3
+	threshold := svc.cfg.BlendThreshold
+	offsets := []float64{0.98, 1.01, 0.99, 1.02, 1.0, 0.97, 1.03}
+	for i := 0; i < threshold; i++ {
+		status, obsRaw := postJSON(t, server.URL+"/observe", ObserveRequest{
+			ModelKey: base.ModelKey, ActualSeconds: target * offsets[i%len(offsets)],
+		})
+		if status != http.StatusOK {
+			t.Fatalf("observe %d: HTTP %d (%v)", i, status, obsRaw)
+		}
+
+		status, raw = postJSON(t, server.URL+"/predict", testRequest())
+		if status != http.StatusOK {
+			t.Fatalf("predict after %d observations: HTTP %d", i+1, status)
+		}
+		got := decodePrediction(t, raw)
+		if got.Observations != i+1 {
+			t.Fatalf("after %d observations: response reports %d", i+1, got.Observations)
+		}
+		if i+1 < threshold {
+			if got.BlendRegime != "extrapolation" {
+				t.Fatalf("below threshold (%d obs): regime %q", i+1, got.BlendRegime)
+			}
+			if got.SuperstepSeconds != base.SuperstepSeconds {
+				t.Fatalf("below threshold: prediction moved (%v -> %v)",
+					base.SuperstepSeconds, got.SuperstepSeconds)
+			}
+		}
+	}
+	blended := decodePrediction(t, raw)
+	if blended.BlendRegime != "interpolation" {
+		t.Fatalf("at threshold: regime %q, want interpolation", blended.BlendRegime)
+	}
+	if baseErr, blendErr := math.Abs(base.SuperstepSeconds-target), math.Abs(blended.SuperstepSeconds-target); blendErr >= baseErr {
+		t.Errorf("feedback did not shrink error: |%v - %v| vs |%v - %v|",
+			blended.SuperstepSeconds, target, base.SuperstepSeconds, target)
+	}
+	if blended.P95Seconds < blended.P50Seconds || blended.StdDevSeconds <= 0 {
+		t.Errorf("blended interval malformed: p50=%v p95=%v sd=%v",
+			blended.P50Seconds, blended.P95Seconds, blended.StdDevSeconds)
+	}
+
+	st := svc.Stats()
+	if st.Observations != int64(threshold) || st.ObservedKeys != 1 {
+		t.Errorf("stats observations=%d keys=%d, want %d/1", st.Observations, st.ObservedKeys, threshold)
+	}
+	if st.BlendInterpolation == 0 || st.BlendExtrapolation == 0 {
+		t.Errorf("blend regime tallies not kept: extrapolation=%d interpolation=%d",
+			st.BlendExtrapolation, st.BlendInterpolation)
+	}
+}
+
+// TestPredictDeadlineProbability pins probability_of_deadline: absent
+// without a deadline, near 1 for a generous deadline, near 0 for an
+// impossible one, and rejected when negative.
+func TestPredictDeadlineProbability(t *testing.T) {
+	_, server := newTestServer(t, Config{})
+
+	req := testRequest()
+	status, raw := postJSON(t, server.URL+"/predict", req)
+	if status != http.StatusOK {
+		t.Fatalf("predict: HTTP %d", status)
+	}
+	if _, present := raw["probability_of_deadline"]; present {
+		t.Error("probability_of_deadline present without deadline_seconds")
+	}
+	base := decodePrediction(t, raw)
+
+	req.DeadlineSeconds = base.SuperstepSeconds * 10
+	status, raw = postJSON(t, server.URL+"/predict", req)
+	if status != http.StatusOK {
+		t.Fatalf("predict with deadline: HTTP %d", status)
+	}
+	generous := decodePrediction(t, raw)
+	if generous.ProbabilityOfDeadline == nil || *generous.ProbabilityOfDeadline < 0.99 {
+		t.Errorf("generous deadline probability = %v, want ~1", generous.ProbabilityOfDeadline)
+	}
+
+	req.DeadlineSeconds = base.SuperstepSeconds / 10
+	status, raw = postJSON(t, server.URL+"/predict", req)
+	if status != http.StatusOK {
+		t.Fatalf("predict with tight deadline: HTTP %d", status)
+	}
+	tight := decodePrediction(t, raw)
+	if tight.ProbabilityOfDeadline == nil || *tight.ProbabilityOfDeadline > 0.01 {
+		t.Errorf("impossible deadline probability = %v, want ~0", tight.ProbabilityOfDeadline)
+	}
+
+	req.DeadlineSeconds = -1
+	if status, _ := postJSON(t, server.URL+"/predict", req); status != http.StatusBadRequest {
+		t.Errorf("negative deadline: HTTP %d, want 400", status)
+	}
+}
+
+// TestObservationsSurviveRestart pins the persistence loop: observations
+// ride the checkpoint log as "observation" records, and a restarted
+// service warm-starts both the model and its feedback window, answering
+// in the interpolation regime immediately.
+func TestObservationsSurviveRestart(t *testing.T) {
+	histPath := filepath.Join(t.TempDir(), "history.jsonl")
+	svc := New(Config{HistoryPath: histPath})
+
+	resp, err := svc.Predict(context.Background(), testRequest())
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	target := resp.SuperstepSeconds * 1.3
+	for i := 0; i < svc.cfg.BlendThreshold; i++ {
+		if _, err := svc.Observe(context.Background(), ObserveRequest{
+			ModelKey: resp.ModelKey, ActualSeconds: target,
+		}); err != nil {
+			t.Fatalf("Observe %d: %v", i, err)
+		}
+	}
+
+	restarted := New(Config{HistoryPath: histPath})
+	if _, _, err := restarted.WarmFromHistory(histPath); err != nil {
+		t.Fatalf("WarmFromHistory: %v", err)
+	}
+	if got := restarted.Stats().Observations; got != int64(svc.cfg.BlendThreshold) {
+		t.Fatalf("restarted service warm-started %d observations, want %d",
+			got, svc.cfg.BlendThreshold)
+	}
+	warm, err := restarted.Predict(context.Background(), testRequest())
+	if err != nil {
+		t.Fatalf("Predict after restart: %v", err)
+	}
+	if !warm.CacheHit {
+		t.Error("restarted service refitted instead of warm-starting the model")
+	}
+	if warm.BlendRegime != "interpolation" {
+		t.Errorf("restarted service regime %q, want interpolation", warm.BlendRegime)
+	}
+}

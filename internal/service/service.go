@@ -16,13 +16,21 @@
 // systems answer many configuration queries from runtime models trained
 // once.
 //
-// Endpoints (all JSON):
+// Endpoints (all JSON; docs/API.md is the full reference):
 //
 //	POST /predict        one PredictRequest  -> PredictResponse
 //	POST /predict/batch  BatchRequest        -> BatchResponse (concurrent)
+//	POST /observe        ObserveRequest      -> ObserveResponse (feedback)
 //	GET  /models         cached model inventory
+//	GET  /datasets       dataset registry inventory
 //	GET  /stats          cache hit ratio, in-flight fits, fit-pool depth
 //	GET  /healthz        liveness + cache statistics
+//	GET  /readyz         readiness: 503 while degraded
+//
+// Observed actual runtimes posted to /observe close the loop: they are
+// persisted as history "observation" records and folded into later
+// predictions for the same model key (core.ExtrapolateBlended), which
+// also carry p50/p95 interval estimates and deadline probabilities.
 //
 // Cache entries persist through internal/history ("model" records):
 // SaveHistory archives every cached entry's training matrix and
@@ -35,6 +43,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -155,6 +164,12 @@ type Config struct {
 	// only the newest record per model key. Zero selects 4; negative
 	// disables compaction (the log grows one record per fit, forever).
 	CheckpointGrowthFactor int
+	// BlendThreshold is the closed-loop regime switch: a model key with at
+	// least this many observed actual runtimes answers from the
+	// observation-weighted refit (interpolation) instead of the pure
+	// sample-fit model (extrapolation). Zero selects
+	// core.DefaultObservationThreshold (5, the Ellis density rule).
+	BlendThreshold int
 	// MmapDatasets serves .snap registry datasets from mmap'd pages
 	// (graph.MmapSnapshot) instead of heap copies: loads are O(1), the
 	// kernel page cache shares one physical copy across processes, and a
@@ -211,6 +226,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CheckpointGrowthFactor == 0 {
 		c.CheckpointGrowthFactor = 4
+	}
+	if c.BlendThreshold <= 0 {
+		c.BlendThreshold = core.DefaultObservationThreshold
 	}
 	if c.Cluster.Oracle == nil {
 		o := cluster.DefaultOracle()
@@ -283,6 +301,17 @@ type Service struct {
 	checkpoints        atomic.Int64
 	checkpointFailures atomic.Int64
 	compactions        atomic.Int64
+
+	// obsMu guards obs, the per-model-key windows of observed actual
+	// runtimes (/observe feedback), each capped at
+	// history.MaxObservationsPerKey newest-first-out. observations counts
+	// runtimes ever recorded; blendExtrapolation/blendInterpolation tally
+	// which regime answered each prediction (for /stats).
+	obsMu              sync.RWMutex
+	obs                map[string][]float64
+	observations       atomic.Int64
+	blendExtrapolation atomic.Int64
+	blendInterpolation atomic.Int64
 }
 
 // New returns a Service with the given configuration.
@@ -306,6 +335,7 @@ func New(cfg Config) *Service {
 		lifeCancel: lifeCancel,
 		histPath:   cfg.HistoryPath,
 		ckptBase:   1,
+		obs:        make(map[string][]float64),
 	}
 }
 
@@ -337,6 +367,12 @@ type PredictRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// TimeoutMillis bounds this request; zero selects the service default.
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// DeadlineSeconds, when positive, asks for the probability that the
+	// actual runtime meets this SLA deadline (probability_of_deadline in
+	// the response), evaluated against the prediction's p50/p95
+	// distribution. It does not change the prediction itself and is not
+	// part of the model key.
+	DeadlineSeconds float64 `json:"deadline_seconds,omitempty"`
 }
 
 func (r PredictRequest) withDefaults() PredictRequest {
@@ -400,6 +436,9 @@ func (r PredictRequest) Validate() error {
 	if r.TimeoutMillis < 0 {
 		return fmt.Errorf("service: negative timeout %d", r.TimeoutMillis)
 	}
+	if r.DeadlineSeconds < 0 || math.IsNaN(r.DeadlineSeconds) || math.IsInf(r.DeadlineSeconds, 0) {
+		return fmt.Errorf("service: deadline_seconds %v must be a positive finite number", r.DeadlineSeconds)
+	}
 	return nil
 }
 
@@ -426,6 +465,21 @@ type PredictResponse struct {
 	// SampleRunSeconds is the simulated planning cost paid when the model
 	// was fitted (zero marginal cost on cache hits).
 	SampleRunSeconds float64 `json:"sample_run_seconds"`
+	// P50Seconds/P95Seconds/StdDevSeconds describe the prediction's
+	// uncertainty distribution: the median, the 95th-percentile runtime
+	// bound, and the normal approximation's spread.
+	P50Seconds    float64 `json:"p50_seconds"`
+	P95Seconds    float64 `json:"p95_seconds"`
+	StdDevSeconds float64 `json:"stddev_seconds"`
+	// BlendRegime reports which closed-loop regime answered:
+	// "extrapolation" (pure sample-fit) or "interpolation"
+	// (observation-weighted refit). Observations is how many observed
+	// actual runtimes informed the blend.
+	BlendRegime  string `json:"blend_regime"`
+	Observations int    `json:"observations"`
+	// ProbabilityOfDeadline is P(runtime <= deadline_seconds), present
+	// only when the request set deadline_seconds.
+	ProbabilityOfDeadline *float64 `json:"probability_of_deadline,omitempty"`
 	// ElapsedMillis is the service-side wall-clock latency.
 	ElapsedMillis float64 `json:"elapsed_ms"`
 }
@@ -629,6 +683,17 @@ func (s *Service) predictInto(ctx context.Context, req PredictRequest, out *Pred
 		// cached before this request began.
 		out.CacheHit = true
 	}
+	// The deadline probability is per-request (deadline_seconds is not in
+	// the coalescing key), derived from the shared template's distribution
+	// after the copy.
+	if req.DeadlineSeconds > 0 {
+		d := core.Distribution{
+			MeanSeconds:   out.SuperstepSeconds,
+			StdDevSeconds: out.StdDevSeconds,
+		}
+		p := d.ProbabilityWithin(req.DeadlineSeconds)
+		out.ProbabilityOfDeadline = &p
+	}
 	out.ElapsedMillis = float64(time.Since(start)) / float64(time.Millisecond)
 	return nil
 }
@@ -681,9 +746,19 @@ func (s *Service) computePrediction(req PredictRequest, path, registryKey, key s
 		return nil, &Error{Status: 500, Msg: err.Error()}
 	}
 
-	pred, err := fitted.Extrapolate(g, req.Workers)
+	// Closed-loop blending: the key's observed actual runtimes (if any)
+	// select the regime and widen or tighten the interval. A key that has
+	// never been observed takes the plain extrapolation path, bit-identical
+	// to Extrapolate.
+	pred, err := fitted.ExtrapolateBlended(g, req.Workers, s.observationsFor(key), s.cfg.BlendThreshold)
 	if err != nil {
 		return nil, &Error{Status: 500, Msg: err.Error()}
+	}
+	switch pred.Runtime.Regime {
+	case core.RegimeInterpolation:
+		s.blendInterpolation.Add(1)
+	default:
+		s.blendExtrapolation.Add(1)
 	}
 	workers := req.Workers
 	if workers == 0 {
@@ -701,6 +776,11 @@ func (s *Service) computePrediction(req PredictRequest, path, registryKey, key s
 		CacheHit:            hit,
 		Workers:             workers,
 		SampleRunSeconds:    pred.SampleRunSeconds,
+		P50Seconds:          pred.Runtime.P50Seconds,
+		P95Seconds:          pred.Runtime.P95Seconds,
+		StdDevSeconds:       pred.Runtime.StdDevSeconds,
+		BlendRegime:         pred.Runtime.Regime,
+		Observations:        pred.Runtime.Observations,
 	}
 	for _, f := range pred.Model.SelectedFeatures() {
 		resp.ModelFeatures = append(resp.ModelFeatures, string(f))
@@ -795,22 +875,33 @@ func (s *Service) checkpoint(key string, fitted *core.Fitted) {
 	if s.cfg.DisableCheckpoints {
 		return
 	}
+	if s.appendRecord(fitted.Record(key, key)) {
+		s.checkpoints.Add(1)
+	}
+}
+
+// appendRecord durably appends one record to the history log (fsync
+// before close) and runs the growth-triggered crash-safe compaction.
+// Both the continuous model checkpoint and the /observe feedback path
+// land here, so observations ride exactly the persistence machinery —
+// and the compaction cap — the checkpoint log already has. Reports
+// whether the append succeeded; failures are counted, not fatal.
+func (s *Service) appendRecord(rec history.Record) bool {
 	s.histMu.Lock()
 	defer s.histMu.Unlock()
 	if s.histPath == "" {
-		return
+		return false
 	}
-	if err := history.AppendFileSync(s.histPath, fitted.Record(key, key)); err != nil {
+	if err := history.AppendFileSync(s.histPath, rec); err != nil {
 		s.checkpointFailures.Add(1)
-		return
+		return false
 	}
-	s.checkpoints.Add(1)
 	s.ckptLog++
 	if f := s.cfg.CheckpointGrowthFactor; f > 0 && s.ckptLog >= f*s.ckptBase {
 		kept, err := history.CompactFile(s.histPath)
 		if err != nil {
 			s.checkpointFailures.Add(1)
-			return
+			return true // the append itself succeeded
 		}
 		s.compactions.Add(1)
 		s.ckptLog = kept
@@ -819,6 +910,97 @@ func (s *Service) checkpoint(key string, fitted *core.Fitted) {
 		}
 		s.ckptBase = kept
 	}
+	return true
+}
+
+// ObserveRequest reports one observed actual runtime for a previously
+// predicted model key — the feedback half of the closed loop.
+type ObserveRequest struct {
+	// ModelKey is the model_key a /predict response reported.
+	ModelKey string `json:"model_key"`
+	// ActualSeconds is the observed superstep-phase runtime.
+	ActualSeconds float64 `json:"actual_seconds"`
+	// Workers optionally records the cluster size of the observed run.
+	Workers int `json:"workers,omitempty"`
+}
+
+// ObserveResponse acknowledges one recorded observation.
+type ObserveResponse struct {
+	ModelKey string `json:"model_key"`
+	// Observations is the key's observation count after this record.
+	Observations int `json:"observations"`
+	// BlendRegime is the regime the key's next prediction will use.
+	BlendRegime string `json:"blend_regime"`
+	// Persisted reports whether the observation reached the history log
+	// (false when no history path is configured or the volume is failing;
+	// the observation still informs this process's predictions).
+	Persisted bool `json:"persisted"`
+}
+
+// Observe records an observed actual runtime against a cached model key:
+// it joins the key's in-memory observation window (bounded by
+// history.MaxObservationsPerKey, oldest evicted first) and is durably
+// appended to the history log as an "observation" record so feedback
+// survives restarts. An unknown key is a 404 — accepting it would write
+// an orphan history record no prediction could ever use.
+func (s *Service) Observe(ctx context.Context, req ObserveRequest) (*ObserveResponse, error) {
+	if req.ModelKey == "" {
+		return nil, &Error{Status: 400, Msg: "service: missing model_key"}
+	}
+	if req.ActualSeconds <= 0 || math.IsNaN(req.ActualSeconds) || math.IsInf(req.ActualSeconds, 0) {
+		return nil, &Error{Status: 400, Msg: fmt.Sprintf(
+			"service: actual_seconds %v must be a positive finite number", req.ActualSeconds)}
+	}
+	if req.Workers < 0 {
+		return nil, &Error{Status: 400, Msg: fmt.Sprintf("service: negative workers %d", req.Workers)}
+	}
+	// peek, not get: a failed observation must not count as a cache hit or
+	// refresh the key's LRU position.
+	if _, ok := s.models.peek(req.ModelKey); !ok {
+		return nil, &Error{Status: 404, Msg: fmt.Sprintf(
+			"service: unknown model key %q: observations attach to fitted models (predict first)", req.ModelKey)}
+	}
+	n := s.recordObservation(req.ModelKey, req.ActualSeconds)
+	persisted := !s.cfg.DisableCheckpoints &&
+		s.appendRecord(history.NewObservation(req.ModelKey, req.ActualSeconds, req.Workers))
+	regime := core.RegimeExtrapolation
+	if n >= s.cfg.BlendThreshold {
+		regime = core.RegimeInterpolation
+	}
+	return &ObserveResponse{
+		ModelKey:     req.ModelKey,
+		Observations: n,
+		BlendRegime:  regime,
+		Persisted:    persisted,
+	}, nil
+}
+
+// recordObservation appends seconds to the key's in-memory observation
+// window, evicting the oldest past history.MaxObservationsPerKey, and
+// returns the window's new size.
+func (s *Service) recordObservation(key string, seconds float64) int {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	o := append(s.obs[key], seconds)
+	if len(o) > history.MaxObservationsPerKey {
+		o = o[len(o)-history.MaxObservationsPerKey:]
+	}
+	s.obs[key] = o
+	s.observations.Add(1)
+	return len(o)
+}
+
+// observationsFor returns a copy of the key's observation window (nil
+// when the key has never been observed — the common warm-path case,
+// which must not allocate).
+func (s *Service) observationsFor(key string) []float64 {
+	s.obsMu.RLock()
+	defer s.obsMu.RUnlock()
+	o := s.obs[key]
+	if len(o) == 0 {
+		return nil
+	}
+	return append([]float64(nil), o...)
 }
 
 // ActiveWork reports how many admitted prediction-work requests are
@@ -952,6 +1134,16 @@ type Stats struct {
 	CheckpointsWritten int64 `json:"checkpoints_written"`
 	CheckpointFailures int64 `json:"checkpoint_failures"`
 	Compactions        int64 `json:"compactions"`
+	// Observations counts actual runtimes ever recorded via /observe (or
+	// warm-started from the history log); ObservedKeys the model keys with
+	// a non-empty observation window.
+	Observations int64 `json:"observations"`
+	ObservedKeys int   `json:"observed_keys"`
+	// BlendExtrapolation/BlendInterpolation tally predictions answered by
+	// each closed-loop regime (coalesced sharers count once, with the
+	// computing request).
+	BlendExtrapolation int64 `json:"blend_extrapolation"`
+	BlendInterpolation int64 `json:"blend_interpolation"`
 	// Goroutines and OpenFDs are process-level leak canaries the soak
 	// harness watches; OpenFDs is 0 where /proc is unavailable.
 	Goroutines int `json:"goroutines"`
@@ -991,9 +1183,15 @@ func (s *Service) Stats() Stats {
 		CheckpointsWritten: s.checkpoints.Load(),
 		CheckpointFailures: s.checkpointFailures.Load(),
 		Compactions:        s.compactions.Load(),
+		Observations:       s.observations.Load(),
+		BlendExtrapolation: s.blendExtrapolation.Load(),
+		BlendInterpolation: s.blendInterpolation.Load(),
 		Goroutines:         runtime.NumGoroutine(),
 		OpenFDs:            openFDs(),
 	}
+	s.obsMu.RLock()
+	st.ObservedKeys = len(s.obs)
+	s.obsMu.RUnlock()
 	if total := h + m; total > 0 {
 		st.HitRatio = float64(h) / float64(total)
 	}
@@ -1033,6 +1231,21 @@ func (s *Service) SaveHistory(path string) (int, error) {
 	for _, e := range entries {
 		records = append(records, e.val.Record(e.key, e.key))
 	}
+	// Observation windows follow the models (deterministic key order):
+	// the snapshot replaces the whole file, so leaving them out would
+	// erase the feedback the checkpoint log had accumulated.
+	s.obsMu.RLock()
+	keys := make([]string, 0, len(s.obs))
+	for k := range s.obs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		for _, secs := range s.obs[k] {
+			records = append(records, history.NewObservation(k, secs, 0))
+		}
+	}
+	s.obsMu.RUnlock()
 	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
 	if err != nil {
 		return 0, err
@@ -1086,6 +1299,13 @@ func (s *Service) WarmFromHistory(path string) (warmed, skipped int, err error) 
 		s.tornRecovered.Add(1)
 	}
 	for _, rec := range records {
+		if rec.Observation != nil {
+			// Feedback survives restarts: the log's observation records
+			// (already capped per key by compaction) rebuild the in-memory
+			// windows in log order.
+			s.recordObservation(rec.Observation.ModelKey, rec.Observation.ActualSeconds)
+			continue
+		}
 		if rec.Model == nil {
 			continue
 		}

@@ -1,0 +1,155 @@
+package predict_test
+
+// Offline markdown link checker: every repo-relative link in the
+// documentation (README.md, DESIGN.md, EXPERIMENTS.md, the other root
+// documents, and docs/) must point at a file that exists, and every
+// anchor — same-file or cross-file — must match a heading in its
+// target. External http(s) links are out of scope: this suite runs
+// offline and CI must not fail on someone else's outage. The checker is
+// a test rather than an installed tool so it needs no network, no
+// version pin, and runs with the ordinary suite.
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"unicode"
+)
+
+// markdownFiles returns the documentation set: *.md at the repository
+// root plus everything under docs/, which is where relative links can
+// rot silently.
+func markdownFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = filepath.WalkDir("docs", func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && strings.HasSuffix(path, ".md") {
+			files = append(files, path)
+		}
+		return nil
+	})
+	if err != nil && !os.IsNotExist(err) {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("link checker found no markdown files — is the test running outside the repo root?")
+	}
+	return files
+}
+
+// inlineLink matches [text](target) including images; target group 1
+// stops at the closing parenthesis (no doc here nests parentheses in
+// relative targets, and external targets are skipped anyway).
+var inlineLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// githubSlug reproduces GitHub's heading-anchor algorithm closely
+// enough for this repository: lowercase, drop everything but letters,
+// digits, spaces and hyphens, then turn each space into a hyphen.
+// Repeated headings get -1, -2… suffixes via the caller's counter.
+func githubSlug(heading string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(strings.TrimSpace(heading)) {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// headingAnchors returns the set of anchor slugs a markdown file
+// defines. Fenced code blocks are skipped so a "# comment" inside a
+// shell snippet does not mint an anchor.
+func headingAnchors(t *testing.T, path string) map[string]bool {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchors := make(map[string]bool)
+	counts := make(map[string]int)
+	inFence := false
+	for _, line := range strings.Split(string(data), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence || !strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := strings.TrimLeft(line, "#")
+		if text == line || (text != "" && text[0] != ' ') {
+			continue // not a heading (e.g. "#!/bin/sh" outside a fence)
+		}
+		slug := githubSlug(text)
+		if n := counts[slug]; n > 0 {
+			anchors[slug+"-"+strconv.Itoa(n)] = true
+		} else {
+			anchors[slug] = true
+		}
+		counts[slug]++
+	}
+	return anchors
+}
+
+// TestMarkdownLinks holds every repo-relative documentation link to an
+// existing target and every anchor to an existing heading.
+func TestMarkdownLinks(t *testing.T) {
+	anchorCache := make(map[string]map[string]bool)
+	anchorsOf := func(path string) map[string]bool {
+		if a, ok := anchorCache[path]; ok {
+			return a
+		}
+		a := headingAnchors(t, path)
+		anchorCache[path] = a
+		return a
+	}
+
+	checked := 0
+	for _, file := range markdownFiles(t) {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range inlineLink.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue // external: out of scope offline
+			}
+			checked++
+			path, frag, _ := strings.Cut(target, "#")
+			resolved := file
+			if path != "" {
+				resolved = filepath.Join(filepath.Dir(file), path)
+				if _, err := os.Stat(resolved); err != nil {
+					t.Errorf("%s: broken link %q: %v", file, target, err)
+					continue
+				}
+			}
+			if frag == "" {
+				continue
+			}
+			if !strings.HasSuffix(resolved, ".md") {
+				continue // anchors into non-markdown targets are not ours to define
+			}
+			if !anchorsOf(resolved)[frag] {
+				t.Errorf("%s: link %q: no heading in %s slugs to %q", file, target, resolved, frag)
+			}
+		}
+	}
+	if checked == 0 {
+		t.Error("link checker matched no repo-relative links — the extraction regexp has regressed")
+	}
+	t.Logf("checked %d repo-relative links", checked)
+}

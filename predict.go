@@ -79,6 +79,10 @@ type (
 	Prediction = core.Prediction
 	// Evaluation holds the paper's error metrics for one prediction.
 	Evaluation = core.Evaluation
+	// Distribution is a prediction's uncertainty summary: mean, spread,
+	// p50/p95 and the closed-loop blend regime. Prediction.Runtime holds
+	// one; ProbabilityWithin answers SLA-deadline questions.
+	Distribution = core.Distribution
 	// Algorithm is the plug-in interface for predictable algorithms.
 	Algorithm = algorithms.Algorithm
 	// RunInfo is a profiled algorithm run.
